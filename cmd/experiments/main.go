@@ -1,0 +1,125 @@
+// Command experiments reproduces the paper's evaluation: it sweeps the
+// Table II design variants over the workload suite under both attack
+// models and regenerates every table and figure of §VIII.
+//
+// Usage:
+//
+//	experiments                   # everything (Tables I-III, Figures 6-8, summary)
+//	experiments -fig6             # just Figure 6
+//	experiments -instrs 100000    # bigger measurement windows
+//	experiments -workloads mcf_r,gcc_r -serial -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		fig6    = flag.Bool("fig6", false, "Figure 6: normalized execution time")
+		fig7    = flag.Bool("fig7", false, "Figure 7: overhead breakdown")
+		fig8    = flag.Bool("fig8", false, "Figure 8: squashes vs execution time")
+		table1  = flag.Bool("table1", false, "Table I: simulated architecture")
+		table2  = flag.Bool("table2", false, "Table II: design variants")
+		table3  = flag.Bool("table3", false, "Table III: predictor precision/accuracy")
+		summary = flag.Bool("summary", false, "§VIII-B headline summary")
+		ablate  = flag.Bool("ablate", false, "design-space ablations of individual SDO mechanisms")
+		asJSON  = flag.Bool("json", false, "emit the sweep as JSON instead of text reports")
+		instrs  = flag.Uint64("instrs", 60_000, "measured instructions per run")
+		warmup  = flag.Uint64("warmup", 50_000, "warmup instructions per run")
+		wls     = flag.String("workloads", "", "comma-separated subset (default: all)")
+		serial  = flag.Bool("serial", false, "disable parallel simulation")
+		verbose = flag.Bool("v", false, "print per-run progress")
+	)
+	flag.Parse()
+
+	all := !*fig6 && !*fig7 && !*fig8 && !*table3 && !*summary && !*ablate
+	// Tables I and II need no simulation.
+	if *table1 {
+		harness.WriteTableI(os.Stdout)
+		fmt.Println()
+	}
+	if *table2 {
+		harness.WriteTableII(os.Stdout)
+		fmt.Println()
+	}
+	if !all && !*fig6 && !*fig7 && !*fig8 && !*table3 && !*summary && !*ablate {
+		return // only static tables were requested
+	}
+
+	opt := harness.DefaultOptions()
+	opt.MaxInstrs = *instrs
+	opt.WarmupInstrs = *warmup
+	opt.Parallel = !*serial
+	if *wls != "" {
+		var list []workload.Workload
+		for _, name := range strings.Split(*wls, ",") {
+			w, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			list = append(list, w)
+		}
+		opt.Workloads = list
+	}
+	if *verbose {
+		opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	if *ablate {
+		for _, m := range opt.Models {
+			rows, err := harness.RunAblations(opt, m)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			harness.WriteAblations(os.Stdout, m, rows)
+			fmt.Println()
+		}
+		if !all && !*fig6 && !*fig7 && !*fig8 && !*table3 && !*summary {
+			return
+		}
+	}
+
+	res, err := harness.Run(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *asJSON:
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	case all:
+		res.WriteAll(os.Stdout)
+	default:
+		if *fig6 {
+			res.WriteFigure6(os.Stdout)
+		}
+		if *fig7 {
+			res.WriteFigure7(os.Stdout)
+			fmt.Println()
+		}
+		if *fig8 {
+			res.WriteFigure8(os.Stdout)
+			fmt.Println()
+		}
+		if *table3 {
+			res.WriteTableIII(os.Stdout)
+			fmt.Println()
+		}
+		if *summary {
+			res.WriteSummary(os.Stdout)
+		}
+	}
+}

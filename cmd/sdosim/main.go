@@ -1,0 +1,118 @@
+// Command sdosim runs one benchmark on one simulated configuration and
+// prints detailed statistics — the equivalent of a single gem5 run in the
+// paper's methodology.
+//
+// Usage:
+//
+//	sdosim -workload mcf_r -variant hybrid -model futuristic -instrs 60000
+//	sdosim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "mcf_r", "workload name (see -list)")
+		variant = flag.String("variant", "unsafe", "design variant (Table II): unsafe, stt, stt{ld+fp}, l1, l2, l3, hybrid, perfect")
+		model   = flag.String("model", "spectre", "attack model: spectre or futuristic")
+		instrs  = flag.Uint64("instrs", 60_000, "committed instructions to measure")
+		warmup  = flag.Uint64("warmup", 50_000, "committed instructions of cache warmup")
+		list    = flag.Bool("list", false, "list workloads and variants, then exit")
+		trace   = flag.String("trace", "", "write a cycle-by-cycle event trace to this file ('-' for stderr)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Workloads:")
+		for _, w := range workload.All() {
+			fmt.Printf("  %-14s %s\n", w.Name, w.Desc)
+		}
+		fmt.Println("\nVariants (Table II):")
+		harness.WriteTableII(os.Stdout)
+		return
+	}
+
+	wl, err := workload.ByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	v, err := core.ParseVariant(strings.ToLower(*variant))
+	if err != nil {
+		fatal(err)
+	}
+	m := pipeline.Spectre
+	if strings.EqualFold(*model, "futuristic") {
+		m = pipeline.Futuristic
+	} else if !strings.EqualFold(*model, "spectre") {
+		fatal(fmt.Errorf("unknown attack model %q", *model))
+	}
+
+	prog, init := wl.Build()
+	machine := core.NewMachine(core.Config{
+		Variant: v, Model: m, WarmupInstrs: *warmup, MaxInstrs: *instrs,
+	}, prog, init)
+	if *trace != "" {
+		w := os.Stderr
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		machine.Core().SetTracer(w)
+	}
+	res, err := machine.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %s (%s model), %d measured instructions\n\n",
+		v, wl.Name, m, res.Committed)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	row := func(k string, val any) { fmt.Fprintf(tw, "%s\t%v\t\n", k, val) }
+	row("cycles", res.Cycles)
+	row("IPC", fmt.Sprintf("%.3f", res.IPC()))
+	row("loads", res.Loads)
+	row("stores", res.Stores)
+	row("branch mispredicts", res.BranchMispredicts)
+	row("squashes (total)", res.TotalSquashes())
+	for cause, n := range res.SquashesByCause() {
+		if n > 0 {
+			row("  "+cause, n)
+		}
+	}
+	row("STT delayed loads", res.DelayedLoads)
+	row("STT load delay cycles", res.LoadDelayCycles)
+	row("STT delayed FP ops", res.DelayedFPs)
+	row("delayed branch resolutions", res.DelayedResolutions)
+	row("Obl-Ld issued", res.OblIssued)
+	row("Obl-Ld success / fail", fmt.Sprintf("%d / %d", res.OblSuccess, res.OblFail))
+	row("Obl-Ld predicted-DRAM delays", res.OblPredMem)
+	row("validations / exposures", fmt.Sprintf("%d / %d", res.Validations, res.Exposures))
+	row("validation commit stalls", res.ValidationStall)
+	row("SDO FP issued / failed", fmt.Sprintf("%d / %d", res.FPSDOIssued, res.FPSDOFail))
+	row("prediction precise/imprecise/inaccurate",
+		fmt.Sprintf("%d / %d / %d", res.PredPrecise, res.PredImprecise, res.PredInaccurate))
+	row("L1D hits/misses", fmt.Sprintf("%d / %d", res.L1DHits, res.L1DMisses))
+	row("L2 hits/misses", fmt.Sprintf("%d / %d", res.L2Hits, res.L2Misses))
+	row("DRAM row hits/misses", fmt.Sprintf("%d / %d", res.DRAMRowHits, res.DRAMRowMisses))
+	tw.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdosim:", err)
+	os.Exit(1)
+}

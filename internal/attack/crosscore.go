@@ -1,0 +1,197 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+// Cross-core attack layout (§II's CrossCore attacker): the attacker runs on
+// a different core and observes the victim's transient transmission through
+// the *shared* L3 and the coherence directory, not through private caches.
+// The two programs synchronise through flag lines in shared memory, which
+// also exercises the MESI + consistency-squash machinery end to end.
+const (
+	ccFlagGo   = 0x8000 // attacker -> victim: round k is armed (value k+1)
+	ccFlagDone = 0x8040 // victim -> attacker: round k transmitted (value k+1)
+)
+
+// buildCrossCoreVictim generates the victim: for each secret byte it waits
+// for the attacker's signal, flushes the probe array and the bound chain
+// (standing in for the victim's natural cache churn), runs the 8-train +
+// 1-out-of-bounds gadget rounds, and signals completion.
+func buildCrossCoreVictim(numSecrets int) *isa.Program {
+	b := isa.NewBuilder()
+	b.MovI(rZero, 0)
+	b.MovI(rSix, 6)
+	b.MovI(rEight, 8)
+	b.MovI(rNine, 9)
+	b.MovI(rR256, probeLines)
+	b.MovI(rBoundPtr, boundAddr)
+	b.MovI(rBBase, probeArray)
+	b.MovI(rABase, arrayA)
+	b.MovI(rFifteen, lenA-1)
+	b.MovI(rThree, 3)
+	b.MovI(rAllOnes, -1)
+	b.MovI(rK, 0)
+	b.MovI(rNK, int64(numSecrets))
+	b.MovI(isa.R31, ccFlagGo)
+
+	b.Label("k_loop")
+	// Wait for the attacker to arm round k (flagGo == k+1).
+	b.AddI(rT1, rK, 1)
+	b.Label("wait_go")
+	b.Load(rT2, isa.R31, 0)
+	b.Bne(rT2, rT1, "wait_go")
+
+	b.MovI(rJ, 0)
+	b.Label("j_loop")
+	b.MovI(rI, 0)
+	b.Label("flush_loop")
+	b.Shl(rTmp, rI, rSix)
+	b.Add(rTmp, rTmp, rBBase)
+	b.Flush(rTmp, 0)
+	b.AddI(rI, rI, 1)
+	b.Blt(rI, rR256, "flush_loop")
+	b.Flush(rBoundPtr, 0)
+	b.Flush(rBoundPtr, 0x100)
+	b.Flush(rBoundPtr, 0x200)
+	// Branchless train/attack address select (see spectre.go).
+	b.Shr(rSel, rJ, rThree)
+	b.Sub(rMask, rZero, rSel)
+	b.AddI(rOOB, rK, secretOff)
+	b.And(rOOB, rOOB, rMask)
+	b.Xor(rSel, rMask, rAllOnes)
+	b.And(rAddr, rJ, rFifteen)
+	b.And(rAddr, rAddr, rSel)
+	b.Or(rAddr, rAddr, rOOB)
+
+	// The gadget (identical shape to the SameThread victim).
+	b.RdCyc(rSer)
+	b.And(rSer, rSer, rZero)
+	b.Add(rAddr, rAddr, rSer)
+	b.Add(rTmp, rBoundPtr, rSer)
+	b.Load(rBound, rTmp, 0)
+	b.Load(rBound, rBound, 0)
+	b.Load(rBound, rBound, 0)
+	b.Bge(rAddr, rBound, "out")
+	b.Add(rTmp, rABase, rAddr)
+	b.LoadB(rSecret, rTmp, 0)
+	b.Shl(rSecret, rSecret, rSix)
+	b.Add(rTmp, rBBase, rSecret)
+	b.Load(rProbe, rTmp, 0)
+	b.Label("out")
+	b.AddI(rJ, rJ, 1)
+	b.Blt(rJ, rNine, "j_loop")
+
+	// Signal the attacker: round k transmitted.
+	b.AddI(rT1, rK, 1)
+	b.MovI(rTmp, ccFlagDone)
+	b.Store(rT1, rTmp, 0)
+	b.AddI(rK, rK, 1)
+	b.Blt(rK, rNK, "k_loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildCrossCoreAttacker generates the attacker: it flushes its own probe
+// copies, arms the round, waits for the victim, then times its own probe
+// loads — a shared-L3 flush+reload.
+func buildCrossCoreAttacker(numSecrets int) *isa.Program {
+	b := isa.NewBuilder()
+	b.MovI(rZero, 0)
+	b.MovI(rSix, 6)
+	b.MovI(rR256, probeLines)
+	b.MovI(rBBase, probeArray)
+	b.MovI(rResult, resultBase)
+	b.MovI(rThree, 3)
+	b.MovI(rK, 0)
+	b.MovI(rNK, int64(numSecrets))
+	b.MovI(isa.R31, ccFlagDone)
+
+	b.Label("k_loop")
+	// Drop our own stale probe copies, then arm the round.
+	b.MovI(rI, 0)
+	b.Label("flush_loop")
+	b.Shl(rTmp, rI, rSix)
+	b.Add(rTmp, rTmp, rBBase)
+	b.Flush(rTmp, 0)
+	b.AddI(rI, rI, 1)
+	b.Blt(rI, rR256, "flush_loop")
+	b.AddI(rT1, rK, 1)
+	b.MovI(rTmp, ccFlagGo)
+	b.Store(rT1, rTmp, 0)
+	// Wait for the victim to finish transmitting round k.
+	b.Label("wait_done")
+	b.Load(rT2, isa.R31, 0)
+	b.Bne(rT2, rT1, "wait_done")
+
+	// Probe: time our own loads of every B line. The victim's transient
+	// fill (if any) is visible as a shared-L3 hit instead of a DRAM miss.
+	b.MovI(rBest, 1<<30)
+	b.MovI(rBestIdx, 0)
+	b.MovI(rI, 0)
+	b.Label("probe_loop")
+	b.Shl(rTmp, rI, rSix)
+	b.Add(rTmp, rTmp, rBBase)
+	b.RdCyc(rT1)
+	b.And(rSer, rT1, rZero)
+	b.Add(rTmp, rTmp, rSer)
+	b.Load(rProbe, rTmp, 0)
+	b.RdCyc(rT2)
+	b.Sub(rDT, rT2, rT1)
+	b.Bge(rDT, rBest, "not_best")
+	b.Add(rBest, rDT, rZero)
+	b.Add(rBestIdx, rI, rZero)
+	b.Label("not_best")
+	b.AddI(rI, rI, 1)
+	b.Blt(rI, rR256, "probe_loop")
+
+	b.Shl(rTmp, rK, rThree)
+	b.Add(rTmp, rTmp, rResult)
+	b.Store(rBestIdx, rTmp, 0)
+	b.AddI(rK, rK, 1)
+	b.Blt(rK, rNK, "k_loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// RunCrossCore runs the two-core attack: victim on core 0, attacker on
+// core 1, sharing one coherent memory system. Both cores run the same
+// defense configuration.
+func RunCrossCore(variant core.Variant, model pipeline.AttackModel, secret []byte) (Outcome, error) {
+	victim := buildCrossCoreVictim(len(secret))
+	attacker := buildCrossCoreAttacker(len(secret))
+	init := func(m *isa.Memory) {
+		m.Write64(boundAddr, boundAddr+0x100)
+		m.Write64(boundAddr+0x100, boundAddr+0x200)
+		m.Write64(boundAddr+0x200, lenA)
+		for i := 0; i < lenA; i++ {
+			m.Write8(arrayA+uint64(i), byte(i))
+		}
+		for k, s := range secret {
+			m.Write8(arrayA+secretOff+uint64(k), s)
+		}
+		for i := 0; i < probeLines; i++ {
+			m.Write8(probeArray+uint64(i*64), 1)
+		}
+	}
+	mc := core.NewMulticore(core.Config{Variant: variant, Model: model},
+		[]*isa.Program{victim, attacker}, init)
+	if err := mc.Run(20_000_000); err != nil {
+		return Outcome{}, fmt.Errorf("attack: cross-core: %w", err)
+	}
+	out := Outcome{Variant: variant, Model: model, Secret: secret,
+		Stats: mc.Core(0).Stats()}
+	out.Leaked = true
+	for k := range secret {
+		got := byte(mc.Memory().Read64(resultBase + uint64(k*8)))
+		out.Recovered = append(out.Recovered, got)
+		if got != secret[k] {
+			out.Leaked = false
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,356 @@
+// Package core is the public face of the simulator: it assembles the ISA,
+// memory hierarchy, out-of-order pipeline, STT and SDO pieces into a
+// Machine, names the paper's evaluated design variants (Table II), and
+// returns uniform Results that the experiment harness, the examples and
+// the benchmarks all consume.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+	"repro/internal/sdo"
+)
+
+// Variant names one row of Table II.
+type Variant int
+
+const (
+	// Unsafe is the unmodified insecure processor.
+	Unsafe Variant = iota
+	// STTLd is STT delaying the execution of unsafe loads only.
+	STTLd
+	// STTLdFp is STT delaying unsafe loads and fmul/fdiv/fsqrt micro-ops.
+	STTLdFp
+	// StaticL1 is STT+SDO with the predictor always predicting the L1.
+	StaticL1
+	// StaticL2 always predicts the L2.
+	StaticL2
+	// StaticL3 always predicts the L3.
+	StaticL3
+	// Hybrid uses the paper's hybrid location predictor (§V-D).
+	Hybrid
+	// Perfect uses an oracle that always predicts the correct level.
+	Perfect
+
+	numVariants
+)
+
+// Variants returns all Table II rows in order.
+func Variants() []Variant {
+	out := make([]Variant, numVariants)
+	for i := range out {
+		out[i] = Variant(i)
+	}
+	return out
+}
+
+// SDOVariants returns only the STT+SDO rows.
+func SDOVariants() []Variant {
+	return []Variant{StaticL1, StaticL2, StaticL3, Hybrid, Perfect}
+}
+
+// String returns the Table II name.
+func (v Variant) String() string {
+	switch v {
+	case Unsafe:
+		return "Unsafe"
+	case STTLd:
+		return "STT{ld}"
+	case STTLdFp:
+		return "STT{ld+fp}"
+	case StaticL1:
+		return "Static L1"
+	case StaticL2:
+		return "Static L2"
+	case StaticL3:
+		return "Static L3"
+	case Hybrid:
+		return "Hybrid"
+	case Perfect:
+		return "Perfect"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Description returns the Table II description column.
+func (v Variant) Description() string {
+	switch v {
+	case Unsafe:
+		return "An unmodified insecure processor"
+	case STTLd:
+		return "STT, delaying the execution of unsafe loads only"
+	case STTLdFp:
+		return "STT, delaying the execution of unsafe loads and fmult/div/fsqrt micro-ops"
+	case StaticL1:
+		return "SDO with predictor always predicting L1 D-Cache"
+	case StaticL2:
+		return "SDO with predictor always predicting L2"
+	case StaticL3:
+		return "SDO with predictor always predicting L3"
+	case Hybrid:
+		return "SDO with proposed hybrid location predictor (Section V-D)"
+	case Perfect:
+		return "SDO with oracle predictor always predicting the correct level"
+	}
+	return ""
+}
+
+// IsSDO reports whether the variant runs Obl-Lds.
+func (v Variant) IsSDO() bool { return v >= StaticL1 && v <= Perfect }
+
+// ParseVariant maps a name (Table II spelling or a short alias) to a
+// Variant.
+func ParseVariant(s string) (Variant, error) {
+	alias := map[string]Variant{
+		"unsafe": Unsafe, "stt": STTLd, "stt{ld}": STTLd, "sttld": STTLd,
+		"stt{ld+fp}": STTLdFp, "sttldfp": STTLdFp, "stt+fp": STTLdFp,
+		"static-l1": StaticL1, "static l1": StaticL1, "l1": StaticL1,
+		"static-l2": StaticL2, "static l2": StaticL2, "l2": StaticL2,
+		"static-l3": StaticL3, "static l3": StaticL3, "l3": StaticL3,
+		"hybrid": Hybrid, "perfect": Perfect,
+	}
+	if v, ok := alias[s]; ok {
+		return v, nil
+	}
+	for _, v := range Variants() {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown variant %q", s)
+}
+
+// Ablation toggles individual SDO/STT mechanisms for design-space studies
+// (all false reproduces the paper's STT+SDO).
+type Ablation struct {
+	// DisableEarlyForward turns off §V-C2's early wait-buffer forwarding.
+	DisableEarlyForward bool
+	// AlwaysValidate disables InvisiSpec exposures.
+	AlwaysValidate bool
+	// NoImplicitChannelProtection measures the cost of STT's
+	// implicit-channel rules by skipping them (INSECURE).
+	NoImplicitChannelProtection bool
+	// OblDRAMVariant architects the DO DRAM variant §VI-B2 rejects.
+	OblDRAMVariant bool
+}
+
+// Config selects a design variant, attack model and run bounds.
+type Config struct {
+	Variant Variant
+	Model   pipeline.AttackModel
+	// Ablate optionally disables individual mechanisms (see Ablation).
+	Ablate Ablation
+	// WarmupInstrs runs this many committed instructions before the
+	// measurement window, warming caches, TLB and predictors — the
+	// SimPoint-style methodology of §VIII-A. Warmup activity is excluded
+	// from the returned Result.
+	WarmupInstrs uint64
+	// MaxInstrs bounds committed instructions in the measurement window
+	// (0: run to halt).
+	MaxInstrs uint64
+	// MaxCycles bounds simulated cycles (0: run to halt).
+	MaxCycles uint64
+	// Mem overrides the Table I memory parameters when non-nil.
+	Mem *mem.Config
+	// Pipe overrides the Table I core parameters when non-nil (its
+	// Protection/Model/LocPred fields are overwritten from Variant/Model).
+	Pipe *pipeline.Config
+}
+
+// Machine is a single-core simulated system ready to Run.
+type Machine struct {
+	cfg  Config
+	core *pipeline.Core
+	hier *mem.Hierarchy
+	data *isa.Memory
+	prog *isa.Program
+}
+
+// pipelineConfig translates a Variant into pipeline settings.
+func pipelineConfig(cfg Config, probe func(uint64) mem.Level) pipeline.Config {
+	pc := pipeline.DefaultConfig()
+	if cfg.Pipe != nil {
+		pc = *cfg.Pipe
+	}
+	pc.Model = cfg.Model
+	pc.DisableEarlyForward = cfg.Ablate.DisableEarlyForward
+	pc.AlwaysValidate = cfg.Ablate.AlwaysValidate
+	pc.NoImplicitChannelProtection = cfg.Ablate.NoImplicitChannelProtection
+	pc.OblDRAMVariant = cfg.Ablate.OblDRAMVariant
+	pc.MaxInstrs = cfg.MaxInstrs
+	if cfg.MaxInstrs > 0 {
+		pc.MaxInstrs += cfg.WarmupInstrs // the budget is the measurement window
+	}
+	pc.MaxCycles = cfg.MaxCycles
+	switch cfg.Variant {
+	case Unsafe:
+		pc.Protection = pipeline.ProtNone
+		pc.FPTransmitters = false
+	case STTLd:
+		pc.Protection = pipeline.ProtSTT
+		pc.FPTransmitters = false
+	case STTLdFp:
+		pc.Protection = pipeline.ProtSTT
+		pc.FPTransmitters = true
+	default:
+		// All SDO configurations treat loads and FP micro-ops as
+		// transmitters with architected DO operations (§VIII-A).
+		pc.Protection = pipeline.ProtSDO
+		pc.FPTransmitters = true
+		switch cfg.Variant {
+		case StaticL1:
+			pc.LocPred = sdo.Static{Level: mem.L1}
+		case StaticL2:
+			pc.LocPred = sdo.Static{Level: mem.L2}
+		case StaticL3:
+			pc.LocPred = sdo.Static{Level: mem.L3}
+		case Hybrid:
+			pc.LocPred = sdo.NewHybrid(512) // ≈4KB of predictor state
+		case Perfect:
+			pc.LocPred = sdo.Perfect{Probe: probe}
+		}
+	}
+	return pc
+}
+
+// NewMachine builds a single-core machine for prog. init (optional)
+// populates the initial memory image.
+func NewMachine(cfg Config, prog *isa.Program, init func(*isa.Memory)) *Machine {
+	data := isa.NewMemory()
+	if init != nil {
+		init(data)
+	}
+	mc := mem.DefaultConfig()
+	if cfg.Mem != nil {
+		mc = *cfg.Mem
+	}
+	hier := mem.NewHierarchy(mc)
+	pc := pipelineConfig(cfg, hier.Probe)
+	return &Machine{
+		cfg:  cfg,
+		core: pipeline.New(pc, prog, data, hier),
+		hier: hier,
+		data: data,
+		prog: prog,
+	}
+}
+
+// Memory returns the machine's architectural memory.
+func (m *Machine) Memory() *isa.Memory { return m.data }
+
+// Hierarchy returns the machine's memory hierarchy.
+func (m *Machine) Hierarchy() *mem.Hierarchy { return m.hier }
+
+// Regs returns the committed registers.
+func (m *Machine) Regs() [isa.NumRegs]uint64 { return m.core.Regs() }
+
+// Core exposes the underlying pipeline (stats, stepping, tracing).
+func (m *Machine) Core() *pipeline.Core { return m.core }
+
+// Result is one run's outcome.
+type Result struct {
+	Variant Variant
+	Model   pipeline.AttackModel
+	pipeline.Stats
+
+	// Memory-system statistics.
+	L1DHits, L1DMisses uint64
+	L2Hits, L2Misses   uint64
+	TLBMisses          uint64
+	DRAMRowHits        uint64
+	DRAMRowMisses      uint64
+}
+
+// Run simulates to halt (or the configured bounds) and gathers results.
+// With WarmupInstrs set, statistics cover only the post-warmup window.
+func (m *Machine) Run() (Result, error) {
+	var base pipeline.Stats
+	var err error
+	if m.cfg.WarmupInstrs > 0 {
+		for !m.core.Halted() && m.core.Stats().Committed < m.cfg.WarmupInstrs {
+			if err = m.core.Step(); err != nil {
+				return Result{Variant: m.cfg.Variant, Model: m.cfg.Model}, err
+			}
+		}
+		base = m.core.Stats()
+	}
+	st, err := m.core.Run()
+	r := Result{
+		Variant: m.cfg.Variant,
+		Model:   m.cfg.Model,
+		Stats:   st.Sub(base),
+	}
+	r.L1DHits, r.L1DMisses = m.hier.L1D().Hits, m.hier.L1D().Misses
+	r.L2Hits, r.L2Misses = m.hier.L2().Hits, m.hier.L2().Misses
+	r.TLBMisses = m.hier.TLB().Misses
+	d := m.hier.Shared().DRAMStats()
+	r.DRAMRowHits, r.DRAMRowMisses = d.RowHits, d.RowMisses
+	return r, err
+}
+
+// Multicore runs several cores in cycle lockstep over one coherent memory
+// system and one shared architectural memory — enough to exercise the
+// MESI-driven consistency machinery (§V-C1) with real cross-core traffic.
+type Multicore struct {
+	sys   *coherence.System
+	cores []*pipeline.Core
+	data  *isa.Memory
+}
+
+// NewMulticore builds one core per program, all sharing memory. init runs
+// once on the shared image.
+func NewMulticore(cfg Config, progs []*isa.Program, init func(*isa.Memory)) *Multicore {
+	data := isa.NewMemory()
+	if init != nil {
+		init(data)
+	}
+	mcfg := mem.DefaultConfig()
+	if cfg.Mem != nil {
+		mcfg = *cfg.Mem
+	}
+	mcfg.L3Slices = len(progs)
+	sys := coherence.NewSystem(mcfg, len(progs))
+	mc := &Multicore{sys: sys, data: data}
+	for i, p := range progs {
+		port := sys.Core(i)
+		pc := pipelineConfig(cfg, port.Probe)
+		c := pipeline.New(pc, p, data, port)
+		c.SetInvalidateHook(port.Hierarchy())
+		mc.cores = append(mc.cores, c)
+	}
+	return mc
+}
+
+// Core returns core i's pipeline (for stats and registers).
+func (m *Multicore) Core(i int) *pipeline.Core { return m.cores[i] }
+
+// Memory returns the shared architectural memory.
+func (m *Multicore) Memory() *isa.Memory { return m.data }
+
+// System returns the coherence fabric.
+func (m *Multicore) System() *coherence.System { return m.sys }
+
+// Run steps every core in lockstep until all halt (or maxCycles elapses).
+func (m *Multicore) Run(maxCycles uint64) error {
+	for cycle := uint64(0); ; cycle++ {
+		if maxCycles > 0 && cycle >= maxCycles {
+			return fmt.Errorf("core: multicore run exceeded %d cycles", maxCycles)
+		}
+		running := false
+		for _, c := range m.cores {
+			if !c.Halted() {
+				running = true
+				if err := c.Step(); err != nil {
+					return err
+				}
+			}
+		}
+		if !running {
+			return nil
+		}
+	}
+}

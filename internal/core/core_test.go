@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+)
+
+func testProgram() (*isa.Program, func(*isa.Memory)) {
+	b := isa.NewBuilder().
+		MovI(isa.R1, 0x1000).
+		MovI(isa.R2, 0).
+		MovI(isa.R3, 50).
+		MovI(isa.R4, 0).
+		Label("loop").
+		Load(isa.R5, isa.R1, 0).
+		Load(isa.R6, isa.R5, 0).
+		Add(isa.R4, isa.R4, isa.R6).
+		AddI(isa.R1, isa.R1, 8).
+		AddI(isa.R2, isa.R2, 1).
+		Blt(isa.R2, isa.R3, "loop").
+		Halt()
+	prog := b.MustBuild()
+	init := func(m *isa.Memory) {
+		for i := 0; i < 50; i++ {
+			m.Write64(uint64(0x1000+i*8), uint64(0x2000+(i%5)*64))
+		}
+		for i := 0; i < 5; i++ {
+			m.Write64(uint64(0x2000+i*64), uint64(i*10))
+		}
+	}
+	return prog, init
+}
+
+func TestAllVariantsRunAndAgree(t *testing.T) {
+	prog, init := testProgram()
+	var wantR4 uint64
+	for i, v := range Variants() {
+		for _, model := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
+			m := NewMachine(Config{Variant: v, Model: model}, prog, init)
+			res, err := m.Run()
+			if err != nil {
+				t.Fatalf("%v/%v: %v", v, model, err)
+			}
+			if !res.Halted {
+				t.Fatalf("%v/%v: did not halt", v, model)
+			}
+			r4 := m.Regs()[isa.R4]
+			if i == 0 && model == pipeline.Spectre {
+				wantR4 = r4
+			} else if r4 != wantR4 {
+				t.Fatalf("%v/%v: R4 = %d, want %d", v, model, r4, wantR4)
+			}
+			if res.Variant != v || res.Model != model {
+				t.Fatalf("result labels wrong: %+v", res)
+			}
+			if res.Committed == 0 || res.Cycles == 0 {
+				t.Fatalf("%v/%v: empty stats", v, model)
+			}
+		}
+	}
+}
+
+func TestVariantNamesAndParse(t *testing.T) {
+	for _, v := range Variants() {
+		if v.String() == "" || v.Description() == "" {
+			t.Errorf("variant %d lacks name/description", v)
+		}
+		got, err := ParseVariant(v.String())
+		if err != nil || got != v {
+			t.Errorf("ParseVariant(%q) = %v, %v", v.String(), got, err)
+		}
+	}
+	if v, err := ParseVariant("hybrid"); err != nil || v != Hybrid {
+		t.Error("alias parse failed")
+	}
+	if _, err := ParseVariant("bogus"); err == nil {
+		t.Error("bogus variant should fail")
+	}
+	if len(Variants()) != 8 {
+		t.Errorf("Table II has 8 rows, got %d", len(Variants()))
+	}
+	if len(SDOVariants()) != 5 {
+		t.Error("five SDO rows expected")
+	}
+	for _, v := range SDOVariants() {
+		if !v.IsSDO() {
+			t.Errorf("%v should be SDO", v)
+		}
+	}
+	if Unsafe.IsSDO() || STTLd.IsSDO() || STTLdFp.IsSDO() {
+		t.Error("non-SDO variants misclassified")
+	}
+}
+
+func TestMaxInstrsBound(t *testing.T) {
+	prog, init := testProgram()
+	m := NewMachine(Config{Variant: Unsafe, MaxInstrs: 100}, prog, init)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Fatal("should have stopped on the instruction budget")
+	}
+	if res.Committed < 100 || res.Committed > 110 {
+		t.Fatalf("committed = %d, want ~100", res.Committed)
+	}
+}
+
+func TestResultMemStats(t *testing.T) {
+	prog, init := testProgram()
+	m := NewMachine(Config{Variant: Unsafe}, prog, init)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L1DHits == 0 {
+		t.Error("expected L1D hits")
+	}
+	if res.L1DMisses == 0 {
+		t.Error("expected L1D misses (cold)")
+	}
+}
+
+func TestMulticoreSharedCounter(t *testing.T) {
+	// Two cores increment disjoint counters then one reads the other's —
+	// exercising cross-core coherence end to end.
+	progA := isa.NewBuilder().
+		MovI(isa.R1, 0x8000).
+		MovI(isa.R2, 0).
+		MovI(isa.R3, 100).
+		Label("loop").
+		Load(isa.R4, isa.R1, 0).
+		AddI(isa.R4, isa.R4, 1).
+		Store(isa.R4, isa.R1, 0).
+		AddI(isa.R2, isa.R2, 1).
+		Blt(isa.R2, isa.R3, "loop").
+		Halt().
+		MustBuild()
+	progB := isa.NewBuilder().
+		MovI(isa.R1, 0x8040). // different line
+		MovI(isa.R2, 0).
+		MovI(isa.R3, 100).
+		Label("loop").
+		Load(isa.R4, isa.R1, 0).
+		AddI(isa.R4, isa.R4, 1).
+		Store(isa.R4, isa.R1, 0).
+		AddI(isa.R2, isa.R2, 1).
+		Blt(isa.R2, isa.R3, "loop").
+		Halt().
+		MustBuild()
+	mc := NewMulticore(Config{Variant: StaticL2}, []*isa.Program{progA, progB}, nil)
+	if err := mc.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := mc.Memory().Read64(0x8000); got != 100 {
+		t.Fatalf("core A counter = %d, want 100", got)
+	}
+	if got := mc.Memory().Read64(0x8040); got != 100 {
+		t.Fatalf("core B counter = %d, want 100", got)
+	}
+	if err := mc.System().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulticoreSameLineContention(t *testing.T) {
+	// Both cores hammer the SAME line (disjoint words): MESI ping-pong plus
+	// consistency squashes; results must still be exact.
+	mk := func(addr int64) *isa.Program {
+		return isa.NewBuilder().
+			MovI(isa.R1, addr).
+			MovI(isa.R2, 0).
+			MovI(isa.R3, 60).
+			Label("loop").
+			Load(isa.R4, isa.R1, 0).
+			AddI(isa.R4, isa.R4, 1).
+			Store(isa.R4, isa.R1, 0).
+			AddI(isa.R2, isa.R2, 1).
+			Blt(isa.R2, isa.R3, "loop").
+			Halt().
+			MustBuild()
+	}
+	for _, v := range []Variant{Unsafe, STTLd, StaticL2} {
+		mc := NewMulticore(Config{Variant: v, Model: pipeline.Futuristic},
+			[]*isa.Program{mk(0x9000), mk(0x9008)}, nil)
+		if err := mc.Run(5_000_000); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if got := mc.Memory().Read64(0x9000); got != 60 {
+			t.Fatalf("%v: word0 = %d, want 60", v, got)
+		}
+		if got := mc.Memory().Read64(0x9008); got != 60 {
+			t.Fatalf("%v: word1 = %d, want 60", v, got)
+		}
+		if err := mc.System().CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Export is the machine-readable form of a sweep: everything the text
+// reports print, as one JSON document (for plotting scripts and regression
+// tooling).
+type Export struct {
+	MaxInstrs    uint64      `json:"max_instrs"`
+	WarmupInstrs uint64      `json:"warmup_instrs"`
+	Runs         []ExportRun `json:"runs"`
+	Figure6      []Fig6Row   `json:"figure6"`
+	Figure7      []Fig7Row   `json:"figure7"`
+	Figure8      []Fig8Row   `json:"figure8"`
+	TableIII     []T3Row     `json:"table3"`
+	Summary      []SumRow    `json:"summary"`
+}
+
+// ExportRun is one simulation's key counters.
+type ExportRun struct {
+	Workload        string  `json:"workload"`
+	Variant         string  `json:"variant"`
+	Model           string  `json:"model"`
+	Cycles          uint64  `json:"cycles"`
+	Committed       uint64  `json:"committed"`
+	IPC             float64 `json:"ipc"`
+	NormTime        float64 `json:"norm_time"`
+	Squashes        uint64  `json:"squashes"`
+	DelayedLoads    uint64  `json:"delayed_loads"`
+	OblIssued       uint64  `json:"obl_issued"`
+	OblFail         uint64  `json:"obl_fail"`
+	Validations     uint64  `json:"validations"`
+	Exposures       uint64  `json:"exposures"`
+	PredPrecise     uint64  `json:"pred_precise"`
+	PredImprecise   uint64  `json:"pred_imprecise"`
+	PredInaccurate  uint64  `json:"pred_inaccurate"`
+	ValidationStall uint64  `json:"validation_stall"`
+}
+
+// Fig6Row is one Figure 6 series point (the per-variant average).
+type Fig6Row struct {
+	Model    string  `json:"model"`
+	Variant  string  `json:"variant"`
+	NormTime float64 `json:"norm_time"`
+}
+
+// Fig7Row is one Figure 7 breakdown row.
+type Fig7Row struct {
+	Model      string  `json:"model"`
+	Variant    string  `json:"variant"`
+	TotalPct   float64 `json:"total_pct"`
+	Inaccurate float64 `json:"inaccurate_pct"`
+	Imprecise  float64 `json:"imprecise_pct"`
+	Validation float64 `json:"validation_pct"`
+	TLB        float64 `json:"tlb_pct"`
+	Other      float64 `json:"other_pct"`
+}
+
+// Fig8Row is one Figure 8 scatter point.
+type Fig8Row struct {
+	Model           string  `json:"model"`
+	Variant         string  `json:"variant"`
+	SquashesPerKIns float64 `json:"squashes_per_kinstr"`
+	NormTime        float64 `json:"norm_time"`
+}
+
+// T3Row is one Table III row (per model).
+type T3Row struct {
+	Model     string  `json:"model"`
+	Variant   string  `json:"variant"`
+	Precision float64 `json:"precision"`
+	Accuracy  float64 `json:"accuracy"`
+}
+
+// SumRow is one summary row.
+type SumRow struct {
+	Model       string  `json:"model"`
+	Variant     string  `json:"variant"`
+	OverheadPct float64 `json:"overhead_pct"`
+	VsSTTLd     float64 `json:"improvement_vs_stt_ld_pct"`
+	VsSTTLdFp   float64 `json:"improvement_vs_stt_ldfp_pct"`
+}
+
+// Export builds the machine-readable summary.
+func (r *Results) Export() Export {
+	ex := Export{MaxInstrs: r.Opt.MaxInstrs, WarmupInstrs: r.Opt.WarmupInstrs}
+	var keys []Key
+	for k := range r.Runs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		return a.Variant < b.Variant
+	})
+	for _, k := range keys {
+		run := r.Runs[k]
+		ex.Runs = append(ex.Runs, ExportRun{
+			Workload:        k.Workload,
+			Variant:         k.Variant.String(),
+			Model:           k.Model.String(),
+			Cycles:          run.Cycles,
+			Committed:       run.Committed,
+			IPC:             run.IPC(),
+			NormTime:        r.NormTime(k.Workload, k.Variant, k.Model),
+			Squashes:        run.TotalSquashes(),
+			DelayedLoads:    run.DelayedLoads,
+			OblIssued:       run.OblIssued,
+			OblFail:         run.OblFail,
+			Validations:     run.Validations,
+			Exposures:       run.Exposures,
+			PredPrecise:     run.PredPrecise,
+			PredImprecise:   run.PredImprecise,
+			PredInaccurate:  run.PredInaccurate,
+			ValidationStall: run.ValidationStall,
+		})
+	}
+	for _, m := range r.Opt.Models {
+		for _, v := range r.Opt.Variants {
+			ex.Figure6 = append(ex.Figure6, Fig6Row{m.String(), v.String(), r.AvgNormTime(v, m)})
+			if v.IsSDO() {
+				b := r.BreakdownFor(v, m)
+				ex.Figure7 = append(ex.Figure7, Fig7Row{
+					Model: m.String(), Variant: v.String(),
+					TotalPct: b.TotalPct, Inaccurate: b.Inaccurate,
+					Imprecise: b.Imprecise, Validation: b.Validation,
+					TLB: b.TLB, Other: b.Other,
+				})
+				p, a := r.PredictorQuality(v, m)
+				ex.TableIII = append(ex.TableIII, T3Row{m.String(), v.String(), p, a})
+			}
+			if v.IsSDO() || v == core.STTLd {
+				ex.Figure8 = append(ex.Figure8, Fig8Row{m.String(), v.String(),
+					r.SquashesPerKInstr(v, m), r.AvgNormTime(v, m)})
+			}
+			ex.Summary = append(ex.Summary, SumRow{
+				Model: m.String(), Variant: v.String(),
+				OverheadPct: r.AvgOverheadPct(v, m),
+				VsSTTLd:     r.ImprovementPct(v, core.STTLd, m),
+				VsSTTLdFp:   r.ImprovementPct(v, core.STTLdFp, m),
+			})
+		}
+	}
+	return ex
+}
+
+// WriteJSON emits the Export document.
+func (r *Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Export())
+}

@@ -1,0 +1,386 @@
+// Package harness runs the paper's evaluation (§VIII): it sweeps the Table
+// II design variants over the workload suite under both attack models and
+// regenerates Figure 6 (normalized execution time), Figure 7 (overhead
+// breakdown), Figure 8 (squashes vs. execution time), Table III (predictor
+// precision/accuracy) and the §VIII-B headline summary.
+//
+// Methodology: like the paper's SimPoint fragments, every run commits the
+// same fixed instruction budget, so execution time (cycles) is directly
+// comparable across configurations and normalizes against the Unsafe run
+// of the same workload.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// Options configures a sweep.
+type Options struct {
+	// WarmupInstrs warms caches/TLB/predictors before measurement.
+	WarmupInstrs uint64
+	// MaxInstrs is the committed-instruction budget per measured run. The
+	// sum of warmup and measurement must stay below every kernel's natural
+	// dynamic length.
+	MaxInstrs uint64
+	// Workloads is the benchmark list (default: workload.All()).
+	Workloads []workload.Workload
+	// Variants are the Table II rows to run (default: all).
+	Variants []core.Variant
+	// Models are the attack models to run (default: Spectre, Futuristic).
+	Models []pipeline.AttackModel
+	// Parallel runs independent simulations on all CPUs.
+	Parallel bool
+	// Progress, if non-nil, receives a line per completed run.
+	Progress func(string)
+}
+
+// DefaultOptions returns the full sweep at a laptop-scale budget.
+func DefaultOptions() Options {
+	return Options{
+		WarmupInstrs: 50_000,
+		MaxInstrs:    60_000,
+		Workloads:    workload.All(),
+		Variants:     core.Variants(),
+		Models:       []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic},
+		Parallel:     true,
+	}
+}
+
+// Key identifies one run.
+type Key struct {
+	Workload string
+	Variant  core.Variant
+	Model    pipeline.AttackModel
+}
+
+// Results holds a completed sweep.
+type Results struct {
+	Opt  Options
+	Runs map[Key]core.Result
+}
+
+// Run executes the sweep.
+func Run(opt Options) (*Results, error) {
+	if opt.MaxInstrs == 0 {
+		opt.MaxInstrs = DefaultOptions().MaxInstrs
+	}
+	if opt.Workloads == nil {
+		opt.Workloads = workload.All()
+	}
+	if opt.Variants == nil {
+		opt.Variants = core.Variants()
+	}
+	if opt.Models == nil {
+		opt.Models = []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic}
+	}
+	res := &Results{Opt: opt, Runs: make(map[Key]core.Result)}
+
+	type job struct {
+		key Key
+		wl  workload.Workload
+	}
+	var jobs []job
+	for _, wl := range opt.Workloads {
+		for _, v := range opt.Variants {
+			for _, m := range opt.Models {
+				jobs = append(jobs, job{Key{wl.Name, v, m}, wl})
+			}
+		}
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	runOne := func(j job) {
+		prog, init := j.wl.Build()
+		machine := core.NewMachine(core.Config{
+			Variant:      j.key.Variant,
+			Model:        j.key.Model,
+			WarmupInstrs: opt.WarmupInstrs,
+			MaxInstrs:    opt.MaxInstrs,
+		}, prog, init)
+		r, err := machine.Run()
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("harness: %s/%v/%v: %w", j.key.Workload, j.key.Variant, j.key.Model, err)
+			return
+		}
+		res.Runs[j.key] = r
+		if opt.Progress != nil {
+			opt.Progress(fmt.Sprintf("%-14s %-11s %-10s %9d cycles (IPC %.2f)",
+				j.key.Workload, j.key.Variant, j.key.Model, r.Cycles, r.IPC()))
+		}
+	}
+
+	if opt.Parallel {
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j job) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runOne(j)
+			}(j)
+		}
+		wg.Wait()
+	} else {
+		for _, j := range jobs {
+			runOne(j)
+		}
+	}
+	return res, firstErr
+}
+
+// Get returns one run's result.
+func (r *Results) Get(wl string, v core.Variant, m pipeline.AttackModel) (core.Result, bool) {
+	res, ok := r.Runs[Key{wl, v, m}]
+	return res, ok
+}
+
+// NormTime returns the run's execution time normalized to the Unsafe run
+// of the same workload/model (Figure 6's metric).
+func (r *Results) NormTime(wl string, v core.Variant, m pipeline.AttackModel) float64 {
+	base, ok1 := r.Get(wl, core.Unsafe, m)
+	run, ok2 := r.Get(wl, v, m)
+	if !ok1 || !ok2 || base.Cycles == 0 {
+		return 0
+	}
+	return float64(run.Cycles) / float64(base.Cycles)
+}
+
+// workloadNames lists the workloads present in the sweep, in suite order.
+func (r *Results) workloadNames() []string {
+	var names []string
+	for _, wl := range r.Opt.Workloads {
+		names = append(names, wl.Name)
+	}
+	return names
+}
+
+// AvgNormTime averages NormTime over all workloads (the "Avg" bars of
+// Figure 6).
+func (r *Results) AvgNormTime(v core.Variant, m pipeline.AttackModel) float64 {
+	var sum float64
+	var n int
+	for _, wl := range r.workloadNames() {
+		if t := r.NormTime(wl, v, m); t > 0 {
+			sum += t
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AvgOverheadPct is the average overhead vs Unsafe, in percent.
+func (r *Results) AvgOverheadPct(v core.Variant, m pipeline.AttackModel) float64 {
+	return (r.AvgNormTime(v, m) - 1) * 100
+}
+
+// ImprovementPct returns how much variant v improves on baseline b, as the
+// paper reports it: the fraction of the baseline's overhead eliminated.
+func (r *Results) ImprovementPct(v, b core.Variant, m pipeline.AttackModel) float64 {
+	ob := r.AvgOverheadPct(b, m)
+	ov := r.AvgOverheadPct(v, m)
+	if ob <= 0 {
+		return 0
+	}
+	return (ob - ov) / ob * 100
+}
+
+// PredictorQuality aggregates Table III for one variant/model: precision =
+// precise / all, accuracy = (precise + imprecise) / all, over all resolved
+// Obl-Lds in the sweep.
+func (r *Results) PredictorQuality(v core.Variant, m pipeline.AttackModel) (precision, accuracy float64) {
+	var precise, imprecise, inaccurate uint64
+	for _, wl := range r.workloadNames() {
+		if run, ok := r.Get(wl, v, m); ok {
+			precise += run.PredPrecise
+			imprecise += run.PredImprecise
+			inaccurate += run.PredInaccurate
+		}
+	}
+	total := precise + imprecise + inaccurate
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(precise) / float64(total), float64(precise+imprecise) / float64(total)
+}
+
+// SquashesPerKInstr averages total squashes per 1000 committed
+// instructions (Figure 8's x-axis).
+func (r *Results) SquashesPerKInstr(v core.Variant, m pipeline.AttackModel) float64 {
+	var squashes, instrs uint64
+	for _, wl := range r.workloadNames() {
+		if run, ok := r.Get(wl, v, m); ok {
+			squashes += run.TotalSquashes()
+			instrs += run.Committed
+		}
+	}
+	if instrs == 0 {
+		return 0
+	}
+	return float64(squashes) / float64(instrs) * 1000
+}
+
+// Breakdown is Figure 7's decomposition of one SDO variant's slowdown.
+// Components are percentages of execution time added over Unsafe,
+// averaged across workloads.
+type Breakdown struct {
+	Variant    core.Variant
+	Model      pipeline.AttackModel
+	TotalPct   float64 // total overhead vs Unsafe
+	Inaccurate float64 // squashes from failed Obl-Lds
+	Imprecise  float64 // waiting for over-predicted levels
+	Validation float64 // commit stalls on validations
+	TLB        float64 // ⊥-translation squashes (§V-B)
+	Other      float64 // no-fill misses, implicit channels, contention
+}
+
+// squashRefillCost approximates the pipeline refill penalty charged per
+// squash when attributing slowdown (frontend redirect + re-dispatch).
+const squashRefillCost = 16.0
+
+// BreakdownFor computes the Figure 7 attribution for one variant/model.
+// ImprecisionCycles and ValidationStall are measured exactly; squash costs
+// are counted as squashed-instruction refill estimates; the remainder of
+// the measured slowdown is "other".
+func (r *Results) BreakdownFor(v core.Variant, m pipeline.AttackModel) Breakdown {
+	b := Breakdown{Variant: v, Model: m}
+	var over, inacc, imprec, val, tlb float64
+	var n int
+	for _, wl := range r.workloadNames() {
+		base, ok1 := r.Get(wl, core.Unsafe, m)
+		run, ok2 := r.Get(wl, v, m)
+		if !ok1 || !ok2 || base.Cycles == 0 {
+			continue
+		}
+		n++
+		slow := float64(run.Cycles) - float64(base.Cycles)
+		if slow < 0 {
+			slow = 0
+		}
+		sq := run.SquashesByCause()
+		ci := float64(sq["obl-fail"]) * squashRefillCost
+		ct := float64(sq["tlb"]) * squashRefillCost
+		cv := float64(run.ValidationStall)
+		cp := float64(run.ImprecisionCycles)
+		sum := ci + ct + cv + cp
+		if sum > slow && sum > 0 {
+			// The components overlap with latency hiding; scale to fit.
+			f := slow / sum
+			ci, ct, cv, cp = ci*f, ct*f, cv*f, cp*f
+			sum = slow
+		}
+		den := float64(base.Cycles)
+		over += slow / den * 100
+		inacc += ci / den * 100
+		imprec += cp / den * 100
+		val += cv / den * 100
+		tlb += ct / den * 100
+	}
+	if n == 0 {
+		return b
+	}
+	fn := float64(n)
+	b.TotalPct = over / fn
+	b.Inaccurate = inacc / fn
+	b.Imprecise = imprec / fn
+	b.Validation = val / fn
+	b.TLB = tlb / fn
+	b.Other = b.TotalPct - b.Inaccurate - b.Imprecise - b.Validation - b.TLB
+	if b.Other < 0 {
+		b.Other = 0
+	}
+	return b
+}
+
+// AblationRow is one row of the design-space study: the paper's full
+// STT+SDO with one mechanism changed.
+type AblationRow struct {
+	Name     string
+	Ablate   core.Ablation
+	NormTime float64 // vs Unsafe, averaged over the sweep's workloads
+}
+
+// RunAblations measures the contribution of individual SDO/STT mechanisms
+// on the Hybrid configuration: the §V-C2 early-forwarding optimisation,
+// InvisiSpec exposures, STT's implicit-channel rules, and the DO DRAM
+// variant the paper declines to build (§VI-B2).
+func RunAblations(opt Options, model pipeline.AttackModel) ([]AblationRow, error) {
+	if opt.MaxInstrs == 0 {
+		opt.MaxInstrs = DefaultOptions().MaxInstrs
+	}
+	if opt.Workloads == nil {
+		opt.Workloads = workload.All()
+	}
+	rows := []AblationRow{
+		{Name: "STT+SDO (paper)"},
+		{Name: "no early forwarding", Ablate: core.Ablation{DisableEarlyForward: true}},
+		{Name: "no exposures (always validate)", Ablate: core.Ablation{AlwaysValidate: true}},
+		{Name: "no implicit-channel protection (INSECURE)", Ablate: core.Ablation{NoImplicitChannelProtection: true}},
+		{Name: "with DO DRAM variant", Ablate: core.Ablation{OblDRAMVariant: true}},
+	}
+	run := func(wl workload.Workload, v core.Variant, ab core.Ablation) (core.Result, error) {
+		prog, init := wl.Build()
+		m := core.NewMachine(core.Config{
+			Variant: v, Model: model, Ablate: ab,
+			WarmupInstrs: opt.WarmupInstrs, MaxInstrs: opt.MaxInstrs,
+		}, prog, init)
+		return m.Run()
+	}
+	type res struct {
+		row  int
+		wl   int
+		norm float64
+		err  error
+	}
+	results := make(chan res)
+	for wi, wl := range opt.Workloads {
+		go func(wi int, wl workload.Workload) {
+			base, err := run(wl, core.Unsafe, core.Ablation{})
+			if err != nil || base.Cycles == 0 {
+				for ri := range rows {
+					results <- res{ri, wi, 0, err}
+				}
+				return
+			}
+			for ri := range rows {
+				r, err := run(wl, core.Hybrid, rows[ri].Ablate)
+				results <- res{ri, wi, float64(r.Cycles) / float64(base.Cycles), err}
+			}
+		}(wi, wl)
+	}
+	sums := make([]float64, len(rows))
+	counts := make([]int, len(rows))
+	var firstErr error
+	for i := 0; i < len(rows)*len(opt.Workloads); i++ {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		if r.norm > 0 {
+			sums[r.row] += r.norm
+			counts[r.row]++
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i := range rows {
+		if counts[i] > 0 {
+			rows[i].NormTime = sums[i] / float64(counts[i])
+		}
+	}
+	return rows, nil
+}

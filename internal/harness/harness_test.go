@@ -1,0 +1,230 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// quickSweep runs a reduced sweep for tests: three contrasting workloads,
+// all variants, both models, small instruction budget.
+func quickSweep(t *testing.T) *Results {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.MaxInstrs = 12_000
+	var wls []workload.Workload
+	for _, name := range []string{"mcf_r", "deepsjeng_r", "x264_r"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wls = append(wls, w)
+	}
+	opt.Workloads = wls
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSweepCompleteness(t *testing.T) {
+	res := quickSweep(t)
+	want := 3 * len(core.Variants()) * 2
+	if len(res.Runs) != want {
+		t.Fatalf("sweep produced %d runs, want %d", len(res.Runs), want)
+	}
+	for k, r := range res.Runs {
+		// Warmup can overshoot its boundary by up to the commit width, so
+		// the measured window may be short by as much.
+		if r.Committed < res.Opt.MaxInstrs-8 {
+			t.Errorf("%v: committed %d < budget %d", k, r.Committed, res.Opt.MaxInstrs)
+		}
+		if r.Cycles == 0 {
+			t.Errorf("%v: zero cycles", k)
+		}
+	}
+}
+
+func TestExpectedShapeHolds(t *testing.T) {
+	// The qualitative results the paper reports, asserted on the reduced
+	// sweep (see DESIGN.md "Expected shape").
+	res := quickSweep(t)
+	for _, m := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
+		// 1. Unsafe normalizes to 1; protections cost something on the
+		// taint-heavy workloads.
+		if got := res.AvgNormTime(core.Unsafe, m); got != 1.0 {
+			t.Errorf("%v: unsafe normalized time = %.3f", m, got)
+		}
+		stt := res.AvgNormTime(core.STTLd, m)
+		if stt <= 1.0 {
+			t.Errorf("%v: STT{ld} should cost something, got %.3f", m, stt)
+		}
+		// 2. STT{ld+fp} >= STT{ld} (more transmitters delayed).
+		if res.AvgNormTime(core.STTLdFp, m)+1e-9 < stt {
+			t.Errorf("%v: STT{ld+fp} (%.3f) cheaper than STT{ld} (%.3f)",
+				m, res.AvgNormTime(core.STTLdFp, m), stt)
+		}
+		// 3. Perfect SDO beats both STT baselines.
+		if res.AvgNormTime(core.Perfect, m) >= res.AvgNormTime(core.STTLdFp, m) {
+			t.Errorf("%v: Perfect (%.3f) should beat STT{ld+fp} (%.3f)",
+				m, res.AvgNormTime(core.Perfect, m), res.AvgNormTime(core.STTLdFp, m))
+		}
+	}
+}
+
+func TestPredictorQualityShape(t *testing.T) {
+	res := quickSweep(t)
+	for _, m := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
+		p1, a1 := res.PredictorQuality(core.StaticL1, m)
+		if p1 != a1 {
+			t.Errorf("%v: Static L1 precision (%f) must equal accuracy (%f)", m, p1, a1)
+		}
+		p3, a3 := res.PredictorQuality(core.StaticL3, m)
+		if p3 > a3 {
+			t.Errorf("%v: precision cannot exceed accuracy", m)
+		}
+		// Static L3 accuracy >= Static L1 accuracy (deeper predictions
+		// cover more), and its precision is lower than the hybrid's.
+		if a3+1e-9 < a1 {
+			t.Errorf("%v: Static L3 accuracy (%.3f) < Static L1 (%.3f)", m, a3, a1)
+		}
+		ph, _ := res.PredictorQuality(core.Hybrid, m)
+		if ph <= p3 {
+			t.Errorf("%v: Hybrid precision (%.3f) should beat Static L3 (%.3f)", m, ph, p3)
+		}
+	}
+}
+
+func TestBreakdownConsistency(t *testing.T) {
+	res := quickSweep(t)
+	for _, v := range core.SDOVariants() {
+		b := res.BreakdownFor(v, pipeline.Spectre)
+		sum := b.Inaccurate + b.Imprecise + b.Validation + b.TLB + b.Other
+		if b.TotalPct < 0 {
+			t.Errorf("%v: negative total overhead %.2f", v, b.TotalPct)
+		}
+		if sum > b.TotalPct+1e-6 {
+			t.Errorf("%v: components (%.2f) exceed total (%.2f)", v, sum, b.TotalPct)
+		}
+		if b.Inaccurate < 0 || b.Imprecise < 0 || b.Validation < 0 || b.TLB < 0 || b.Other < 0 {
+			t.Errorf("%v: negative component: %+v", v, b)
+		}
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	res := quickSweep(t)
+	var buf bytes.Buffer
+	res.WriteAll(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"TABLE I", "TABLE II", "FIGURE 6", "FIGURE 7", "FIGURE 8",
+		"TABLE III", "SUMMARY",
+		"Hybrid", "Static L2", "Perfect", "STT{ld+fp}",
+		"mcf_r", "Avg",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two identical sweeps must agree bit-for-bit on cycle counts.
+	a := quickSweep(t)
+	b := quickSweep(t)
+	for k, ra := range a.Runs {
+		rb, ok := b.Runs[k]
+		if !ok {
+			t.Fatalf("missing run %v", k)
+		}
+		if ra.Cycles != rb.Cycles || ra.Committed != rb.Committed ||
+			ra.TotalSquashes() != rb.TotalSquashes() {
+			t.Fatalf("%v: nondeterministic results: %d/%d vs %d/%d cycles",
+				k, ra.Cycles, ra.Committed, rb.Cycles, rb.Committed)
+		}
+	}
+}
+
+func TestSerialEqualsParallel(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxInstrs = 6_000
+	wl, err := workload.ByName("xalancbmk_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workloads = []workload.Workload{wl}
+	par, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallel = false
+	ser, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, rp := range par.Runs {
+		if rs := ser.Runs[k]; rs.Cycles != rp.Cycles {
+			t.Fatalf("%v: parallel %d cycles vs serial %d", k, rp.Cycles, rs.Cycles)
+		}
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	res := quickSweep(t)
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ex Export
+	if err := json.Unmarshal(buf.Bytes(), &ex); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(ex.Runs) != len(res.Runs) {
+		t.Fatalf("exported %d runs, want %d", len(ex.Runs), len(res.Runs))
+	}
+	if len(ex.Figure6) == 0 || len(ex.Figure7) == 0 || len(ex.Figure8) == 0 ||
+		len(ex.TableIII) == 0 || len(ex.Summary) == 0 {
+		t.Fatal("export missing sections")
+	}
+	// Exported Figure 6 averages must agree with the live computation.
+	for _, row := range ex.Figure6 {
+		if row.Variant == "Unsafe" && row.NormTime != 1.0 {
+			t.Fatalf("unsafe norm time = %v", row.NormTime)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxInstrs = 6_000
+	opt.WarmupInstrs = 6_000
+	wl, err := workload.ByName("xalancbmk_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workloads = []workload.Workload{wl}
+	rows, err := RunAblations(opt, pipeline.Spectre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d ablation rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.NormTime <= 0 {
+			t.Fatalf("%s: no measurement", r.Name)
+		}
+	}
+	var buf bytes.Buffer
+	WriteAblations(&buf, pipeline.Spectre, rows)
+	if !strings.Contains(buf.String(), "no early forwarding") {
+		t.Fatal("ablation table incomplete")
+	}
+}

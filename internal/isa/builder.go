@@ -1,0 +1,238 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with symbolic labels, resolving forward
+// references at Build time. Methods append one instruction each and return
+// the builder for chaining. The zero value is not usable; call NewBuilder.
+type Builder struct {
+	instrs []Instr
+	labels map[string]int
+	// fixups records instruction indices whose Target must be patched to
+	// the final location of the named label.
+	fixups map[int]string
+	err    error
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+	}
+}
+
+// Label defines a label at the current position. Defining the same label
+// twice is an error reported by Build.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return b
+	}
+	b.labels[name] = len(b.instrs)
+	return b
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("isa: "+format, args...)
+	}
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+func (b *Builder) emitBranch(op Op, rs, rt Reg, label string) *Builder {
+	b.fixups[len(b.instrs)] = label
+	return b.emit(Instr{Op: op, Rs: rs, Rt: rt})
+}
+
+// Nop appends a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: OpNop}) }
+
+// Halt appends a halt.
+func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: OpHalt}) }
+
+// MovI appends rd = imm.
+func (b *Builder) MovI(rd Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpMovI, Rd: rd, Imm: imm})
+}
+
+// AddI appends rd = rs + imm.
+func (b *Builder) AddI(rd, rs Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpAddI, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Add appends rd = rs + rt.
+func (b *Builder) Add(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpAdd, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Sub appends rd = rs - rt.
+func (b *Builder) Sub(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpSub, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Mul appends rd = rs * rt.
+func (b *Builder) Mul(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpMul, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Div appends rd = rs / rt.
+func (b *Builder) Div(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpDiv, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// And appends rd = rs & rt.
+func (b *Builder) And(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpAnd, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Or appends rd = rs | rt.
+func (b *Builder) Or(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpOr, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Xor appends rd = rs ^ rt.
+func (b *Builder) Xor(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpXor, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Shl appends rd = rs << rt.
+func (b *Builder) Shl(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpShl, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Shr appends rd = rs >> rt.
+func (b *Builder) Shr(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpShr, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// FAdd appends rd = rs + rt (float64).
+func (b *Builder) FAdd(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpFAdd, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// FSub appends rd = rs - rt (float64).
+func (b *Builder) FSub(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpFSub, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// FMul appends rd = rs * rt (float64).
+func (b *Builder) FMul(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpFMul, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// FDiv appends rd = rs / rt (float64).
+func (b *Builder) FDiv(rd, rs, rt Reg) *Builder {
+	return b.emit(Instr{Op: OpFDiv, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// FSqrt appends rd = sqrt(rs) (float64).
+func (b *Builder) FSqrt(rd, rs Reg) *Builder {
+	return b.emit(Instr{Op: OpFSqrt, Rd: rd, Rs: rs})
+}
+
+// ItoF appends rd = float64(int64(rs)).
+func (b *Builder) ItoF(rd, rs Reg) *Builder {
+	return b.emit(Instr{Op: OpItoF, Rd: rd, Rs: rs})
+}
+
+// FtoI appends rd = int64(float64(rs)).
+func (b *Builder) FtoI(rd, rs Reg) *Builder {
+	return b.emit(Instr{Op: OpFtoI, Rd: rd, Rs: rs})
+}
+
+// Load appends rd = mem64[rs + imm].
+func (b *Builder) Load(rd, rs Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpLoad, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// LoadB appends rd = mem8[rs + imm].
+func (b *Builder) LoadB(rd, rs Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpLoadB, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Store appends mem64[rs + imm] = rt.
+func (b *Builder) Store(rt, rs Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpStore, Rt: rt, Rs: rs, Imm: imm})
+}
+
+// StoreB appends mem8[rs + imm] = rt.
+func (b *Builder) StoreB(rt, rs Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpStoreB, Rt: rt, Rs: rs, Imm: imm})
+}
+
+// Beq appends a branch to label if rs == rt.
+func (b *Builder) Beq(rs, rt Reg, label string) *Builder {
+	return b.emitBranch(OpBeq, rs, rt, label)
+}
+
+// Bne appends a branch to label if rs != rt.
+func (b *Builder) Bne(rs, rt Reg, label string) *Builder {
+	return b.emitBranch(OpBne, rs, rt, label)
+}
+
+// Blt appends a branch to label if rs < rt (signed).
+func (b *Builder) Blt(rs, rt Reg, label string) *Builder {
+	return b.emitBranch(OpBlt, rs, rt, label)
+}
+
+// Bge appends a branch to label if rs >= rt (signed).
+func (b *Builder) Bge(rs, rt Reg, label string) *Builder {
+	return b.emitBranch(OpBge, rs, rt, label)
+}
+
+// Jmp appends an unconditional branch to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emitBranch(OpJmp, 0, 0, label)
+}
+
+// Flush appends a clflush of the line containing rs + imm.
+func (b *Builder) Flush(rs Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpFlush, Rs: rs, Imm: imm})
+}
+
+// RdCyc appends rd = current cycle.
+func (b *Builder) RdCyc(rd Reg) *Builder {
+	return b.emit(Instr{Op: OpRdCyc, Rd: rd})
+}
+
+// Raw appends a pre-constructed instruction verbatim.
+func (b *Builder) Raw(in Instr) *Builder { return b.emit(in) }
+
+// Build resolves labels and returns the finished, validated program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	instrs := make([]Instr, len(b.instrs))
+	copy(instrs, b.instrs)
+	for idx, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q at instruction %d", label, idx)
+		}
+		instrs[idx].Target = target
+	}
+	labels := make(map[string]int, len(b.labels))
+	for k, v := range b.labels {
+		labels[k] = v
+	}
+	p := &Program{Instrs: instrs, Labels: labels}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for statically-known programs.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

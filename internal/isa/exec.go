@@ -1,0 +1,181 @@
+package isa
+
+import (
+	"errors"
+	"math"
+)
+
+// IsSubnormalBits reports whether bits encodes a subnormal (denormal)
+// float64: zero exponent with a non-zero mantissa. Subnormal operands and
+// results put floating-point transmitters on their slow (microcoded) path,
+// which is the operand-dependent timing channel from the paper's §I-A.
+func IsSubnormalBits(bits uint64) bool {
+	exp := (bits >> 52) & 0x7ff
+	mant := bits & ((1 << 52) - 1)
+	return exp == 0 && mant != 0
+}
+
+// FPSlowPath reports whether an FP transmitter with the given operand bits
+// executes on the slow path. Following [Andrysco et al., S&P'15] both
+// subnormal inputs and subnormal outputs trigger it; checking the inputs
+// plus the computed result covers both.
+func FPSlowPath(op Op, rs, rt, result uint64) bool {
+	switch op {
+	case OpFMul, OpFDiv:
+		return IsSubnormalBits(rs) || IsSubnormalBits(rt) || IsSubnormalBits(result)
+	case OpFSqrt:
+		return IsSubnormalBits(rs) || IsSubnormalBits(result)
+	}
+	return false
+}
+
+// EvalALU computes the result of a non-memory, non-branch, register-writing
+// instruction given its source operand values. cycle supplies the value for
+// OpRdCyc. Both the functional executor and the cycle-level pipeline call
+// this single definition so their architectural semantics cannot diverge.
+func EvalALU(in Instr, rs, rt, cycle uint64) uint64 {
+	f := func(x uint64) float64 { return math.Float64frombits(x) }
+	fb := math.Float64bits
+	switch in.Op {
+	case OpMovI:
+		return uint64(in.Imm)
+	case OpAddI:
+		return rs + uint64(in.Imm)
+	case OpAdd:
+		return rs + rt
+	case OpSub:
+		return rs - rt
+	case OpMul:
+		return rs * rt
+	case OpDiv:
+		if rt == 0 {
+			return 0
+		}
+		return uint64(int64(rs) / int64(rt))
+	case OpAnd:
+		return rs & rt
+	case OpOr:
+		return rs | rt
+	case OpXor:
+		return rs ^ rt
+	case OpShl:
+		return rs << (rt & 63)
+	case OpShr:
+		return rs >> (rt & 63)
+	case OpFAdd:
+		return fb(f(rs) + f(rt))
+	case OpFSub:
+		return fb(f(rs) - f(rt))
+	case OpFMul:
+		return fb(f(rs) * f(rt))
+	case OpFDiv:
+		return fb(f(rs) / f(rt))
+	case OpFSqrt:
+		return fb(math.Sqrt(f(rs)))
+	case OpItoF:
+		return fb(float64(int64(rs)))
+	case OpFtoI:
+		v := f(rs)
+		switch {
+		case math.IsNaN(v):
+			return 0
+		case v >= float64(math.MaxInt64):
+			// Clamp out-of-range conversions: Go leaves them
+			// implementation-specific, and the simulator must be
+			// deterministic across platforms.
+			return uint64(math.MaxInt64)
+		case v <= float64(math.MinInt64):
+			return uint64(1) << 63 // math.MinInt64
+		}
+		return uint64(int64(v))
+	case OpRdCyc:
+		return cycle
+	}
+	return 0
+}
+
+// BranchTaken evaluates a conditional branch predicate.
+func BranchTaken(op Op, rs, rt uint64) bool {
+	switch op {
+	case OpBeq:
+		return rs == rt
+	case OpBne:
+		return rs != rt
+	case OpBlt:
+		return int64(rs) < int64(rt)
+	case OpBge:
+		return int64(rs) >= int64(rt)
+	case OpJmp:
+		return true
+	}
+	return false
+}
+
+// ExecResult summarises a functional execution.
+type ExecResult struct {
+	Regs      [NumRegs]uint64
+	Instrs    uint64 // dynamic instructions executed (including the halt)
+	Halted    bool   // false if the step budget ran out first
+	LoadCount uint64
+	StoreCount,
+	BranchCount uint64
+}
+
+// ErrStepBudget is returned by Exec when the program did not halt within
+// the given number of dynamic instructions.
+var ErrStepBudget = errors.New("isa: step budget exhausted before halt")
+
+// Exec runs the program on the golden functional model: in-order,
+// one-instruction-at-a-time, no speculation, no timing. It mutates mem and
+// returns the final architectural registers. regs gives initial register
+// values (may be nil for all-zero). OpRdCyc yields the dynamic instruction
+// count, which is the functional model's only notion of time.
+//
+// Exec is the reference against which every cycle-level configuration is
+// differentially tested: a correct defense changes timing, never
+// architectural results.
+func Exec(p *Program, mem *Memory, regs *[NumRegs]uint64, maxInstrs uint64) (ExecResult, error) {
+	var r ExecResult
+	if regs != nil {
+		r.Regs = *regs
+	}
+	pc := 0
+	for r.Instrs < maxInstrs {
+		in := p.At(pc)
+		r.Instrs++
+		switch {
+		case in.Op == OpHalt:
+			r.Halted = true
+			return r, nil
+		case in.Op == OpNop || in.Op == OpFlush:
+			pc++
+		case in.Op.IsBranch():
+			r.BranchCount++
+			if BranchTaken(in.Op, r.Regs[in.Rs], r.Regs[in.Rt]) {
+				pc = in.Target
+			} else {
+				pc++
+			}
+		case in.Op == OpLoad:
+			r.LoadCount++
+			r.Regs[in.Rd] = mem.Read64(r.Regs[in.Rs] + uint64(in.Imm))
+			pc++
+		case in.Op == OpLoadB:
+			r.LoadCount++
+			r.Regs[in.Rd] = uint64(mem.Read8(r.Regs[in.Rs] + uint64(in.Imm)))
+			pc++
+		case in.Op == OpStore:
+			r.StoreCount++
+			mem.Write64(r.Regs[in.Rs]+uint64(in.Imm), r.Regs[in.Rt])
+			pc++
+		case in.Op == OpStoreB:
+			r.StoreCount++
+			mem.Write8(r.Regs[in.Rs]+uint64(in.Imm), byte(r.Regs[in.Rt]))
+			pc++
+		default:
+			r.Regs[in.Rd] = EvalALU(in, r.Regs[in.Rs], r.Regs[in.Rt], r.Instrs)
+			pc++
+		}
+	}
+	return r, ErrStepBudget
+}

@@ -1,0 +1,137 @@
+package isa
+
+import "encoding/binary"
+
+// pageBits is log2 of the backing-store page size. Pages are allocated
+// lazily so programs can use sparse, far-apart address regions (heaps,
+// secret arrays, probe arrays) without reserving the whole address space.
+const pageBits = 12
+
+const pageSize = 1 << pageBits
+
+type page [pageSize]byte
+
+// Memory is a sparse, byte-addressable 64-bit physical memory. The zero
+// value is ready to use. Reads of never-written locations return zero.
+//
+// Memory is purely functional state: all timing (caches, DRAM) lives in
+// internal/mem. Both the golden executor and the cycle-level pipeline share
+// this type so architectural results are directly comparable.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{pages: make(map[uint64]*page)} }
+
+func (m *Memory) pageFor(addr uint64, alloc bool) *page {
+	if m.pages == nil {
+		if !alloc {
+			return nil
+		}
+		m.pages = make(map[uint64]*page)
+	}
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read8 returns the byte at addr.
+func (m *Memory) Read8(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// Write8 stores one byte at addr.
+func (m *Memory) Write8(addr uint64, v byte) {
+	m.pageFor(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Read64 returns the little-endian 64-bit word at addr. Accesses that
+// straddle a page boundary are assembled byte-by-byte.
+func (m *Memory) Read64(addr uint64) uint64 {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-8 {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[off : off+8])
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(m.Read8(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores the little-endian 64-bit word v at addr.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-8 {
+		binary.LittleEndian.PutUint64(m.pageFor(addr, true)[off:off+8], v)
+		return
+	}
+	for i := 0; i < 8; i++ {
+		m.Write8(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for i, v := range b {
+		m.Write8(addr+uint64(i), v)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = m.Read8(addr + uint64(i))
+	}
+	return b
+}
+
+// Clone returns a deep copy of the memory, used to run the same initial
+// image through multiple simulator configurations.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, p := range m.pages {
+		cp := *p
+		c.pages[pn] = &cp
+	}
+	return c
+}
+
+// Pages returns the number of allocated backing pages (for tests).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Equal reports whether two memories have identical contents. Zero-filled
+// pages are treated the same as absent pages.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.coveredBy(o) && o.coveredBy(m)
+}
+
+func (m *Memory) coveredBy(o *Memory) bool {
+	for pn, p := range m.pages {
+		op := o.pages[pn]
+		if op == nil {
+			if *p != (page{}) {
+				return false
+			}
+			continue
+		}
+		if *p != *op {
+			return false
+		}
+	}
+	return true
+}

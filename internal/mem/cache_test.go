@@ -1,0 +1,246 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallCache() *Cache {
+	// 4 sets x 2 ways x 64B = 512B
+	return NewCache(CacheConfig{SizeBytes: 512, Ways: 2, Latency: 2, Banks: 2, MSHRs: 2})
+}
+
+func TestCacheFillThenLookup(t *testing.T) {
+	c := smallCache()
+	if c.Lookup(0x1000) {
+		t.Fatal("cold cache should miss")
+	}
+	c.Fill(0x1000, false)
+	if !c.Lookup(0x1000) {
+		t.Fatal("filled line should hit")
+	}
+	// Same line, different offset.
+	if !c.Lookup(0x1004) {
+		t.Fatal("same line, different word should hit")
+	}
+	// Different line.
+	if c.Lookup(0x1040) {
+		t.Fatal("adjacent line should miss")
+	}
+}
+
+func TestCacheLookupDoesNotPerturbState(t *testing.T) {
+	// The DO-variant property: Lookup must not affect replacement.
+	// Fill A then B into a 2-way set; touching A (normal) then filling C
+	// must evict B. Repeating with Lookup(A) in place of Touch(A) must
+	// evict A instead — proving Lookup didn't refresh LRU.
+	c := smallCache()
+	a, b, cc := uint64(0), uint64(0x100), uint64(0x200) // same set (4 sets: line/64 %4)
+	c.Fill(a, false)
+	c.Fill(b, false)
+	c.Touch(a, false)
+	c.Fill(cc, false)
+	if !c.Lookup(a) || c.Lookup(b) {
+		t.Fatal("normal touch should have protected A and evicted B")
+	}
+
+	c2 := smallCache()
+	c2.Fill(a, false)
+	c2.Fill(b, false)
+	c2.Lookup(a) // tag-only: must not refresh
+	c2.Fill(cc, false)
+	if c2.Lookup(a) || !c2.Lookup(b) {
+		t.Fatal("oblivious lookup must not refresh LRU: A should be evicted")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := smallCache()
+	// Three lines in the same set, 2 ways: first fill is evicted.
+	c.Fill(0x000, false)
+	c.Fill(0x100, false)
+	evAddr, _, ev := c.Fill(0x200, false)
+	if !ev || evAddr != 0x000 {
+		t.Fatalf("evicted %#x (ev=%v), want 0x0", evAddr, ev)
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	c := smallCache()
+	c.Fill(0x000, true) // dirty
+	c.Fill(0x100, false)
+	_, dirty, ev := c.Fill(0x200, false)
+	if !ev || !dirty {
+		t.Fatalf("dirty line eviction: ev=%v dirty=%v", ev, dirty)
+	}
+	if c.DirtyWritebacks != 1 {
+		t.Fatalf("writebacks = %d", c.DirtyWritebacks)
+	}
+}
+
+func TestCacheTouchMarksDirty(t *testing.T) {
+	c := smallCache()
+	c.Fill(0x40, false)
+	c.Touch(0x40, true)
+	c.Fill(0x140, false)
+	_, dirty, ev := c.Fill(0x240, false)
+	if !ev || !dirty {
+		t.Fatalf("store-touched line should evict dirty: ev=%v dirty=%v", ev, dirty)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := smallCache()
+	c.Fill(0x80, true)
+	present, dirty := c.Invalidate(0x80)
+	if !present || !dirty {
+		t.Fatalf("invalidate: present=%v dirty=%v", present, dirty)
+	}
+	if c.Lookup(0x80) {
+		t.Fatal("line should be gone")
+	}
+	present, _ = c.Invalidate(0x80)
+	if present {
+		t.Fatal("double invalidate should report absent")
+	}
+}
+
+func TestCacheFillIdempotentWhenPresent(t *testing.T) {
+	c := smallCache()
+	c.Fill(0x40, false)
+	_, _, ev := c.Fill(0x40, false)
+	if ev {
+		t.Fatal("refilling a present line must not evict")
+	}
+	if c.Contents() != 1 {
+		t.Fatalf("contents = %d, want 1", c.Contents())
+	}
+}
+
+func TestBankReservationSerialises(t *testing.T) {
+	c := smallCache()
+	// Two same-bank lines accessed at the same cycle: second waits.
+	// bank = line/64 % 2; 0x00 and 0x80 are both bank 0.
+	s1 := c.ReserveBank(10, 0x00)
+	s2 := c.ReserveBank(10, 0x80)
+	if s1 != 10 || s2 != 11 {
+		t.Fatalf("starts = %d,%d, want 10,11", s1, s2)
+	}
+	// Different bank proceeds in parallel.
+	s3 := c.ReserveBank(10, 0x40)
+	if s3 != 10 {
+		t.Fatalf("other bank start = %d, want 10", s3)
+	}
+	if c.BankWaitCycles != 1 {
+		t.Fatalf("bank wait = %d, want 1", c.BankWaitCycles)
+	}
+}
+
+func TestReserveAllBanksBlocksEverything(t *testing.T) {
+	c := smallCache()
+	start := c.ReserveAllBanks(5, 3)
+	if start != 5 {
+		t.Fatalf("start = %d", start)
+	}
+	// Any subsequent access must wait until 8.
+	if s := c.ReserveBank(5, 0x00); s != 8 {
+		t.Fatalf("bank0 start = %d, want 8", s)
+	}
+	if s := c.ReserveBank(5, 0x40); s != 8 {
+		t.Fatalf("bank1 start = %d, want 8", s)
+	}
+}
+
+func TestReserveAllBanksWaitsForBusyBank(t *testing.T) {
+	c := smallCache()
+	c.ReserveBank(10, 0x00) // bank 0 busy until 11
+	start := c.ReserveAllBanks(10, 2)
+	if start != 11 {
+		t.Fatalf("oblivious start = %d, want 11", start)
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	c := smallCache()
+	start, _, merged := c.AcquireMSHR(100, 0x1000, true)
+	if merged || start != 100 {
+		t.Fatalf("first acquire: start=%d merged=%v", start, merged)
+	}
+	c.CommitMSHR(0x1000, 150)
+	_, mdone, merged := c.AcquireMSHR(110, 0x1000, true)
+	if !merged || mdone != 150 {
+		t.Fatalf("second acquire: merged=%v done=%d", merged, mdone)
+	}
+}
+
+func TestMSHRFullStalls(t *testing.T) {
+	c := smallCache() // 2 MSHRs
+	c.AcquireMSHR(100, 1, false)
+	c.CommitMSHR(1, 200)
+	c.AcquireMSHR(100, 2, false)
+	c.CommitMSHR(2, 300)
+	start, _, _ := c.AcquireMSHR(100, 3, false)
+	if start != 200 {
+		t.Fatalf("third acquire start = %d, want 200 (earliest release)", start)
+	}
+	if c.MSHRWaitCycles != 100 {
+		t.Fatalf("mshr wait = %d, want 100", c.MSHRWaitCycles)
+	}
+}
+
+func TestMSHRPruning(t *testing.T) {
+	c := smallCache()
+	c.AcquireMSHR(100, 1, false)
+	c.CommitMSHR(1, 150)
+	if got := c.OutstandingMisses(120); got != 1 {
+		t.Fatalf("outstanding at 120 = %d, want 1", got)
+	}
+	if got := c.OutstandingMisses(150); got != 0 {
+		t.Fatalf("outstanding at 150 = %d, want 0", got)
+	}
+}
+
+func TestCachePropertyFillAlwaysHitsAfter(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 4096, Ways: 4, Latency: 2, Banks: 4, MSHRs: 4})
+	f := func(addr uint64) bool {
+		addr &= 0xffffff
+		c.Fill(addr, false)
+		return c.Lookup(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachePropertyContentsBounded(t *testing.T) {
+	cfg := CacheConfig{SizeBytes: 1024, Ways: 2, Latency: 2, Banks: 2, MSHRs: 2}
+	c := NewCache(cfg)
+	capacity := cfg.SizeBytes / LineBytes
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Fill(uint64(a), a%3 == 0)
+		}
+		return c.Contents() <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCachePanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two set count")
+		}
+	}()
+	NewCache(CacheConfig{SizeBytes: 192, Ways: 1, Banks: 1, MSHRs: 1})
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0x1234) != 0x1200 {
+		t.Fatalf("LineAddr(0x1234) = %#x", LineAddr(0x1234))
+	}
+	if LineAddr(0x1240) != 0x1240 {
+		t.Fatal("aligned address should be unchanged")
+	}
+}

@@ -1,0 +1,119 @@
+package mem
+
+// tlbLevel is one fully-associative, LRU translation buffer.
+type tlbLevel struct {
+	pages []uint64
+	valid []bool
+	lruAt []uint64
+	stamp uint64
+}
+
+func newTLBLevel(entries int) *tlbLevel {
+	return &tlbLevel{
+		pages: make([]uint64, entries),
+		valid: make([]bool, entries),
+		lruAt: make([]uint64, entries),
+	}
+}
+
+func (l *tlbLevel) lookup(page uint64, refresh bool) bool {
+	for i := range l.pages {
+		if l.valid[i] && l.pages[i] == page {
+			if refresh {
+				l.stamp++
+				l.lruAt[i] = l.stamp
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (l *tlbLevel) install(page uint64) {
+	victim := 0
+	for i := range l.pages {
+		if !l.valid[i] {
+			victim = i
+			break
+		}
+		if l.lruAt[i] < l.lruAt[victim] {
+			victim = i
+		}
+	}
+	l.stamp++
+	l.pages[victim] = page
+	l.valid[victim] = true
+	l.lruAt[victim] = l.stamp
+}
+
+// TLB is a two-level data TLB (fully associative, LRU at both levels).
+// Translation itself is the identity (the simulator runs on physical
+// addresses); the TLB exists because hits and misses have different timing
+// and — per §V-B — an Obl-Ld may only consult the L1 TLB without a walk: a
+// miss yields ⊥ and a later squash, because both the L2 TLB lookup and the
+// page-table walk would create address-dependent resource usage.
+type TLB struct {
+	cfg TLBConfig
+	l1  *tlbLevel
+	l2  *tlbLevel // nil when disabled
+
+	// Stats.
+	Hits, Misses uint64 // L1-TLB hits / misses (normal path)
+	L2Hits       uint64 // L1 misses served by the L2 TLB
+	Walks        uint64 // full page-table walks
+}
+
+// NewTLB returns a TLB with the given configuration.
+func NewTLB(cfg TLBConfig) *TLB {
+	t := &TLB{cfg: cfg, l1: newTLBLevel(cfg.Entries)}
+	if cfg.L2Entries > 0 {
+		t.l2 = newTLBLevel(cfg.L2Entries)
+	}
+	return t
+}
+
+func (t *TLB) page(addr uint64) uint64 { return addr >> t.cfg.PageBits }
+
+// Probe reports whether addr's page is mapped in the L1 TLB, without any
+// replacement-state change. This is the DO path: an L1 tag check only.
+func (t *TLB) Probe(addr uint64) bool { return t.l1.lookup(t.page(addr), false) }
+
+// Translate performs the normal path: L1 hit is free; an L1 miss consults
+// the L2 TLB (L2Latency) and finally walks the page table (WalkCycles).
+// Translations are installed on the way back, as a hardware walker would.
+func (t *TLB) Translate(now uint64, addr uint64) (done uint64, hit bool) {
+	p := t.page(addr)
+	if t.l1.lookup(p, true) {
+		t.Hits++
+		return now, true
+	}
+	t.Misses++
+	if t.l2 != nil {
+		if t.l2.lookup(p, true) {
+			t.L2Hits++
+			t.l1.install(p)
+			return now + t.cfg.L2Latency, false
+		}
+	}
+	t.Walks++
+	t.l1.install(p)
+	if t.l2 != nil {
+		t.l2.install(p)
+	}
+	done = now + t.cfg.WalkCycles
+	if t.l2 != nil {
+		done += t.cfg.L2Latency
+	}
+	return done, false
+}
+
+// Install maps addr's page without timing (used by tests).
+func (t *TLB) Install(addr uint64) {
+	p := t.page(addr)
+	if !t.l1.lookup(p, false) {
+		t.l1.install(p)
+	}
+	if t.l2 != nil && !t.l2.lookup(p, false) {
+		t.l2.install(p)
+	}
+}

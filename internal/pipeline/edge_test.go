@@ -1,0 +1,199 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// runUnsafe executes prog on a default insecure core and returns it.
+func runUnsafe(t *testing.T, prog *isa.Program, init func(*isa.Memory)) *Core {
+	t.Helper()
+	data := isa.NewMemory()
+	if init != nil {
+		init(data)
+	}
+	core := New(DefaultConfig(), prog, data, mem.NewHierarchy(mem.DefaultConfig()))
+	if _, err := core.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !core.Halted() {
+		t.Fatal("did not halt")
+	}
+	return core
+}
+
+func TestStoreForwardContainmentByteFrom64(t *testing.T) {
+	// A byte load contained in an older in-flight 64-bit store must forward
+	// the right byte.
+	prog := isa.NewBuilder().
+		MovI(isa.R1, 0x4000).
+		MovI(isa.R2, 0x1122334455667788).
+		Store(isa.R2, isa.R1, 0).
+		LoadB(isa.R3, isa.R1, 2). // byte 2 = 0x66
+		LoadB(isa.R4, isa.R1, 7). // byte 7 = 0x11
+		Load(isa.R5, isa.R1, 0).  // full word
+		Halt().
+		MustBuild()
+	core := runUnsafe(t, prog, nil)
+	r := core.Regs()
+	if r[isa.R3] != 0x66 || r[isa.R4] != 0x11 || r[isa.R5] != 0x1122334455667788 {
+		t.Fatalf("forwarded r3=%#x r4=%#x r5=%#x", r[isa.R3], r[isa.R4], r[isa.R5])
+	}
+}
+
+func TestStoreForwardPartialOverlapStalls(t *testing.T) {
+	// A 64-bit load overlapping (but not contained in) an older byte store
+	// cannot forward; it must wait and still read the merged bytes.
+	prog := isa.NewBuilder().
+		MovI(isa.R1, 0x5000).
+		MovI(isa.R2, 0xAB).
+		StoreB(isa.R2, isa.R1, 3).
+		Load(isa.R3, isa.R1, 0). // needs memory+store merge
+		Halt().
+		MustBuild()
+	init := func(m *isa.Memory) { m.Write64(0x5000, 0x1111111111111111) }
+	core := runUnsafe(t, prog, init)
+	want := uint64(0x11111111AB111111)
+	if got := core.Regs()[isa.R3]; got != want {
+		t.Fatalf("merged load = %#x, want %#x", got, want)
+	}
+}
+
+func TestLoadForwardsFromYoungestMatchingStore(t *testing.T) {
+	prog := isa.NewBuilder().
+		MovI(isa.R1, 0x6000).
+		MovI(isa.R2, 111).
+		MovI(isa.R3, 222).
+		Store(isa.R2, isa.R1, 0).
+		Store(isa.R3, isa.R1, 0).
+		Load(isa.R4, isa.R1, 0). // must see 222 (the youngest older store)
+		Halt().
+		MustBuild()
+	core := runUnsafe(t, prog, nil)
+	if got := core.Regs()[isa.R4]; got != 222 {
+		t.Fatalf("load = %d, want 222", got)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	// Tiny queues force dispatch stalls; the program must still complete
+	// correctly (backpressure, not deadlock or loss).
+	b := isa.NewBuilder().
+		MovI(isa.R1, 0x7000).
+		MovI(isa.R2, 0).
+		MovI(isa.R3, 64)
+	b.Label("loop")
+	b.Store(isa.R2, isa.R1, 0)
+	b.Load(isa.R4, isa.R1, 0)
+	b.Add(isa.R5, isa.R5, isa.R4)
+	b.AddI(isa.R1, isa.R1, 8)
+	b.AddI(isa.R2, isa.R2, 1)
+	b.Blt(isa.R2, isa.R3, "loop")
+	b.Halt()
+	prog := b.MustBuild()
+
+	cfg := DefaultConfig()
+	cfg.LQSize, cfg.SQSize, cfg.IQSize, cfg.ROBSize = 2, 2, 4, 16
+	data := isa.NewMemory()
+	core := New(cfg, prog, data, mem.NewHierarchy(mem.DefaultConfig()))
+	if _, err := core.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !core.Halted() {
+		t.Fatal("did not halt under tiny queues")
+	}
+	// sum of 0..63 = 2016
+	if got := core.Regs()[isa.R5]; got != 2016 {
+		t.Fatalf("sum = %d, want 2016", got)
+	}
+}
+
+func TestFlushOrdersWithStores(t *testing.T) {
+	// A flush between a store and a reload must not corrupt data (flush is
+	// architecturally inert) and must actually evict the line.
+	prog := isa.NewBuilder().
+		MovI(isa.R1, 0x8000).
+		MovI(isa.R2, 42).
+		Store(isa.R2, isa.R1, 0).
+		Flush(isa.R1, 0).
+		Load(isa.R3, isa.R1, 0).
+		Halt().
+		MustBuild()
+	data := isa.NewMemory()
+	h := mem.NewHierarchy(mem.DefaultConfig())
+	core := New(DefaultConfig(), prog, data, h)
+	if _, err := core.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.Regs()[isa.R3]; got != 42 {
+		t.Fatalf("reload after flush = %d, want 42", got)
+	}
+	if data.Read64(0x8000) != 42 {
+		t.Fatal("store lost")
+	}
+}
+
+func TestDeepBranchNest(t *testing.T) {
+	// Nested data-dependent branches with a tight ROB: stresses squash
+	// recovery of the rename map through multiple in-flight branches.
+	b := isa.NewBuilder().
+		MovI(isa.R1, 0x9000).
+		MovI(isa.R2, 0).
+		MovI(isa.R3, 128).
+		MovI(isa.R8, 1).
+		MovI(isa.R9, 2)
+	b.Label("loop")
+	b.Shl(isa.R4, isa.R2, isa.R8)
+	b.Shl(isa.R4, isa.R4, isa.R9) // i*8
+	b.Add(isa.R4, isa.R4, isa.R1)
+	b.Load(isa.R5, isa.R4, 0)
+	b.And(isa.R6, isa.R5, isa.R8)
+	b.Beq(isa.R6, isa.R8, "odd")
+	b.And(isa.R6, isa.R5, isa.R9)
+	b.Beq(isa.R6, isa.R9, "two")
+	b.AddI(isa.R7, isa.R7, 1)
+	b.Jmp("next")
+	b.Label("two")
+	b.AddI(isa.R7, isa.R7, 2)
+	b.Jmp("next")
+	b.Label("odd")
+	b.And(isa.R6, isa.R5, isa.R9)
+	b.Beq(isa.R6, isa.R9, "three")
+	b.AddI(isa.R7, isa.R7, 5)
+	b.Jmp("next")
+	b.Label("three")
+	b.AddI(isa.R7, isa.R7, 7)
+	b.Label("next")
+	b.AddI(isa.R2, isa.R2, 1)
+	b.Blt(isa.R2, isa.R3, "loop")
+	b.Halt()
+	prog := b.MustBuild()
+	init := func(m *isa.Memory) {
+		x := uint64(77)
+		for i := 0; i < 128; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			m.Write64(uint64(0x9000+i*8), x>>33)
+		}
+	}
+	// Golden.
+	gm := isa.NewMemory()
+	init(gm)
+	g, err := isa.Exec(prog, gm, nil, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ROBSize = 16
+	cfg.IQSize = 8
+	data := isa.NewMemory()
+	init(data)
+	core := New(cfg, prog, data, mem.NewHierarchy(mem.DefaultConfig()))
+	if _, err := core.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.Regs()[isa.R7]; got != g.Regs[isa.R7] {
+		t.Fatalf("nested-branch sum = %d, golden %d", got, g.Regs[isa.R7])
+	}
+}

@@ -1,0 +1,171 @@
+package pipeline
+
+import "repro/internal/isa"
+
+// issue selects ready instructions from the issue queue in age order,
+// subject to functional-unit availability and the active protection
+// policy's transmitter rules, and begins their execution.
+func (c *Core) issue() {
+	issued := 0
+	kept := c.iq[:0]
+	for _, seq := range c.iq {
+		e := c.entry(seq)
+		if issued >= c.cfg.Width {
+			kept = append(kept, seq)
+			continue
+		}
+		ok := false
+		switch {
+		case e.in.Op.IsCondBranch():
+			ok = c.issueBranch(e)
+		case e.isLoad():
+			ok = c.issueLoad(e)
+		case e.isStore():
+			ok = c.issueStore(e)
+		case e.in.Op.IsFP():
+			ok = c.issueFP(e)
+		default:
+			ok = c.issueALU(e)
+		}
+		if ok {
+			issued++
+		} else {
+			kept = append(kept, seq)
+		}
+	}
+	c.iq = kept
+}
+
+func (c *Core) issueALU(e *robEntry) bool {
+	// OpRdCyc is fully serialising (lfence;rdtsc;lfence): it issues only
+	// once it is the oldest instruction, so timing reads order with every
+	// older access — which is what makes the in-simulator covert-channel
+	// measurements meaningful.
+	if e.in.Op == isa.OpRdCyc && e.seq != c.headSeq {
+		return false
+	}
+	ready, vals, root := c.srcsReady(e)
+	if !ready || c.intPortsBusy >= c.cfg.IntALUs {
+		return false
+	}
+	c.intPortsBusy++
+	e.destVal = isa.EvalALU(e.in, vals[0], vals[1], c.cycle)
+	e.destRoot = root
+	e.doneAt = c.cycle + opLatency(e.in, vals[0], vals[1], e.destVal, false)
+	e.state = stExecuting
+	return true
+}
+
+func (c *Core) issueFP(e *robEntry) bool {
+	ready, vals, root := c.srcsReady(e)
+	if !ready {
+		return false
+	}
+	isTx := e.in.Op.IsFPTransmitter() && c.cfg.FPTransmitters
+	if isTx && c.tainted(root) {
+		switch c.cfg.Protection {
+		case ProtSTT:
+			// STT{ld+fp}: delay the transmitter until its operands untaint.
+			if e.delayedSince == 0 {
+				e.delayedSince = c.cycle
+				c.stats.DelayedFPs++
+			}
+			c.stats.FPDelayCycles++
+			return false
+		case ProtSDO:
+			if c.fpPortsBusy >= c.cfg.FPUnits {
+				return false
+			}
+			c.fpPortsBusy++
+			// §I-A: statically predict "normal" and execute the fast DO
+			// variant. The operation fails if the operands/result are
+			// actually subnormal; resolution happens once args untaint.
+			e.destVal = isa.EvalALU(e.in, vals[0], vals[1], c.cycle)
+			e.destRoot = root
+			e.fpSDO = true
+			e.fpArgs = [2]uint64{vals[0], vals[1]}
+			e.fpFail = isa.FPSlowPath(e.in.Op, vals[0], vals[1], e.destVal)
+			e.doneAt = c.cycle + opLatency(e.in, vals[0], vals[1], e.destVal, true)
+			e.state = stExecuting
+			c.stats.FPSDOIssued++
+			return true
+		}
+	}
+	if c.fpPortsBusy >= c.cfg.FPUnits {
+		return false
+	}
+	c.fpPortsBusy++
+	e.destVal = isa.EvalALU(e.in, vals[0], vals[1], c.cycle)
+	e.destRoot = root
+	if isa.FPSlowPath(e.in.Op, vals[0], vals[1], e.destVal) {
+		// An operand-dependent slow-path execution: the timing channel the
+		// FP transmitter protections exist to close.
+		c.stats.FPSlowPathExecs++
+	}
+	e.doneAt = c.cycle + opLatency(e.in, vals[0], vals[1], e.destVal, false)
+	e.state = stExecuting
+	return true
+}
+
+func (c *Core) issueBranch(e *robEntry) bool {
+	ready, vals, root := c.srcsReady(e)
+	if !ready || c.intPortsBusy >= c.cfg.IntALUs {
+		return false
+	}
+	c.intPortsBusy++
+	e.actualTaken = isa.BranchTaken(e.in.Op, vals[0], vals[1])
+	if e.actualTaken {
+		e.actualTarget = e.in.Target
+	} else {
+		e.actualTarget = e.pc + 1
+	}
+	e.mispredicted = e.actualTaken != e.predTaken
+	e.destRoot = root // predicate root: gates the resolution effects
+	e.doneAt = c.cycle + latALU
+	e.state = stExecuting
+	return true
+}
+
+func (c *Core) issueStore(e *robEntry) bool {
+	// AGU: the address source must be ready; data may bind later.
+	v, ok, root := c.operandInfo(e.src[0])
+	if !ok || c.memPortsBusy >= c.cfg.MemPorts {
+		return false
+	}
+	c.memPortsBusy++
+	e.addr = v + uint64(e.in.Imm)
+	e.addrValid = true
+	e.addrRoot = root
+	if dv, dok, _ := c.operandInfo(e.src[1]); dok {
+		e.sqData = dv
+		e.sqDataReady = true
+		e.state = stDone
+	} else {
+		e.state = stExecuting
+		e.doneAt = ^uint64(0) // completed by data bind, not by time
+	}
+	c.stats.Stores++
+	c.checkStoreViolation(e)
+	return true
+}
+
+// completeExecution retires finished executions into the "done" state and
+// binds late store data.
+func (c *Core) completeExecution() {
+	for seq := c.headSeq; seq < c.tailSeq; seq++ {
+		e := c.entry(seq)
+		if e.state == stExecuting && e.obl == oblNone && !e.isStore() && c.cycle >= e.doneAt {
+			e.state = stDone
+			if e.in.Op.IsCondBranch() {
+				e.resolved = true
+			}
+		}
+		if e.isStore() && e.addrValid && !e.sqDataReady {
+			if dv, ok, _ := c.operandInfo(e.src[1]); ok {
+				e.sqData = dv
+				e.sqDataReady = true
+				e.state = stDone
+			}
+		}
+	}
+}

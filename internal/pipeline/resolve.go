@@ -1,0 +1,318 @@
+package pipeline
+
+import "repro/internal/isa"
+
+// resolve runs the untaint-driven machinery once per cycle: it computes
+// the visibility frontier, then — oldest first — applies parked squashes
+// whose predicates untainted, branch resolutions (delayed for tainted
+// predicates per STT's implicit-channel rule), Obl-Ld state transitions,
+// and SDO floating-point resolutions.
+func (c *Core) resolve() {
+	c.frontier = c.computeFrontier()
+	c.applyParked()
+	c.resolveBranches()
+	c.stepOblAll()
+	c.resolveFPSDO()
+}
+
+// computeFrontier returns the first sequence number that is still
+// speculative under the configured attack model. Everything older is
+// non-speculative: its taint roots compare as untainted.
+//
+// Spectre: an access instruction reaches its visibility point when all
+// older control-flow instructions have resolved (and their resolution
+// effects applied — a resolved-but-parked branch can still squash).
+//
+// Futuristic: when nothing older can squash it for any reason: branches,
+// stores with unresolved addresses (memory-order violations), loads whose
+// own value/validation story is not finished, unresolved SDO operations,
+// and parked squashes.
+func (c *Core) computeFrontier() uint64 {
+	for seq := c.headSeq; seq < c.tailSeq; seq++ {
+		if c.blocksFrontier(c.entry(seq)) {
+			return seq
+		}
+	}
+	return c.tailSeq
+}
+
+func (c *Core) blocksFrontier(e *robEntry) bool {
+	if e.pendingSq {
+		return true
+	}
+	if c.cfg.Model == Spectre {
+		return e.in.Op.IsCondBranch() && !e.effectApplied
+	}
+	// Futuristic.
+	if e.isBranch() && !e.effectApplied {
+		return true
+	}
+	if e.isStore() && !e.addrValid {
+		return true
+	}
+	if e.isLoad() {
+		if e.obl != oblNone {
+			if e.obl != oblResolved {
+				return true
+			}
+		} else if e.state != stDone {
+			return true
+		}
+	}
+	if e.fpSDO && !e.effectApplied {
+		return true
+	}
+	return false
+}
+
+// applyParked applies, oldest first, every parked squash whose predicate
+// root has untainted.
+func (c *Core) applyParked() {
+	for {
+		best := -1
+		for i, p := range c.parked {
+			if p.from >= c.tailSeq {
+				continue // squashed away already; pruned below
+			}
+			if p.vpSelf {
+				if c.frontier < p.from {
+					continue // the load has not reached its VP yet
+				}
+			} else if c.tainted(p.root) {
+				continue
+			}
+			if best == -1 || p.from < c.parked[best].from {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		p := c.parked[best]
+		c.parked = append(c.parked[:best], c.parked[best+1:]...)
+		c.squash(p.from, p.cause, p.refetch)
+	}
+	// Prune entries referring to already-squashed instructions.
+	kept := c.parked[:0]
+	for _, p := range c.parked {
+		if p.from < c.tailSeq {
+			kept = append(kept, p)
+		}
+	}
+	c.parked = kept
+}
+
+// resolveBranches applies branch resolution effects, oldest first. Under
+// STT/SDO a tainted predicate parks the resolution (and the predictor
+// update) until it untaints — the resolution-based implicit channel rule.
+func (c *Core) resolveBranches() {
+	for seq := c.headSeq; seq < c.tailSeq; seq++ {
+		e := c.entry(seq)
+		if !e.in.Op.IsCondBranch() || !e.resolved || e.effectApplied {
+			continue
+		}
+		if c.cfg.Protection != ProtNone && !c.cfg.NoImplicitChannelProtection && c.tainted(e.destRoot) {
+			if e.delayedSince == 0 {
+				e.delayedSince = c.cycle
+				c.stats.DelayedResolutions++
+			}
+			continue
+		}
+		e.effectApplied = true
+		c.stats.BranchesResolved++
+		if c.tracer != nil {
+			c.trace("resolve-branch", "seq=%d pc=%d taken=%v mispredicted=%v target=%d",
+				e.seq, e.pc, e.actualTaken, e.mispredicted, e.actualTarget)
+		}
+		if e.mispredicted {
+			c.stats.BranchMispredicts++
+			c.squash(e.seq+1, sqBranch, e.actualTarget)
+		}
+		c.bp.Update(c.pcAddr(e.pc), e.actualTaken, e.mispredicted, e.bpSnap)
+		if e.mispredicted {
+			return // younger state is gone; nothing left to scan
+		}
+	}
+}
+
+// resolveFPSDO resolves SDO floating-point operations whose arguments have
+// untainted: success trains nothing (the static predictor has no state);
+// failure squashes starting at the operation, which then re-executes on
+// the normal (data-dependent latency) path.
+func (c *Core) resolveFPSDO() {
+	for seq := c.headSeq; seq < c.tailSeq; seq++ {
+		e := c.entry(seq)
+		if !e.fpSDO || e.effectApplied || e.state == stWaiting {
+			continue
+		}
+		if c.tainted(argsRoot(e)) {
+			continue
+		}
+		e.effectApplied = true
+		if e.fpFail {
+			c.stats.FPSDOFail++
+			c.squash(e.seq, sqFPFail, e.pc)
+			return
+		}
+	}
+}
+
+// argsRoot returns the taint root of an instruction's source operands
+// (for fpSDO entries destRoot holds exactly that).
+func argsRoot(e *robEntry) uint64 { return e.destRoot }
+
+// squash discards every instruction with seq >= from, repairs the rename
+// map and branch-history state, redirects fetch to refetch, and records
+// statistics.
+func (c *Core) squash(from uint64, cause squashCause, refetch int) {
+	if from < c.headSeq {
+		panic("pipeline: squash of committed instructions")
+	}
+	c.stats.Squashes[cause]++
+	if c.tracer != nil {
+		c.trace("squash", "from=%d cause=%s refetch-pc=%d tail-was=%d",
+			from, squashCauseNames[cause], refetch, c.tailSeq)
+	}
+
+	if from < c.tailSeq {
+		c.stats.SquashedInstrs += c.tailSeq - from
+		restored := false
+		var snap = c.entry(from).bpSnap // placeholder; fixed in the loop below
+		for seq := c.tailSeq; seq > from; {
+			seq--
+			e := c.entry(seq)
+			if e.hasDest {
+				c.renameMap[e.in.Rd] = e.prevProd
+			}
+			if e.in.Op.IsCondBranch() {
+				snap = e.bpSnap
+				restored = true
+			}
+		}
+		if restored {
+			c.bp.Restore(snap)
+		}
+
+		trim := func(q []uint64) []uint64 {
+			for len(q) > 0 && q[len(q)-1] >= from {
+				q = q[:len(q)-1]
+			}
+			return q
+		}
+		c.iq = trimUnordered(c.iq, from)
+		c.lq = trim(c.lq)
+		c.sq = trim(c.sq)
+
+		kept := c.parked[:0]
+		for _, p := range c.parked {
+			if p.from < from {
+				kept = append(kept, p)
+			}
+		}
+		c.parked = kept
+
+		c.tailSeq = from
+	}
+
+	// The frontend redirect happens even when no ROB entry is younger than
+	// the squash point: wrong-path instructions may still sit in the fetch
+	// buffer.
+	c.fetchBuf = c.fetchBuf[:0]
+	c.fetchPC = refetch
+	c.fetchHalted = false
+	c.fetchLine = ^uint64(0)
+	if c.fetchStallUntil < c.cycle+1 {
+		c.fetchStallUntil = c.cycle + 1 // one-cycle redirect bubble
+	}
+}
+
+// trimUnordered removes seqs >= from from a queue that may not be sorted
+// (the IQ is age-ordered on append but issue removes from the middle).
+func trimUnordered(q []uint64, from uint64) []uint64 {
+	kept := q[:0]
+	for _, s := range q {
+		if s < from {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// commit retires completed instructions in order, applying stores and
+// flushes to the architectural memory and the cache hierarchy.
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.Width; n++ {
+		if c.headSeq == c.tailSeq {
+			return
+		}
+		e := c.entry(c.headSeq)
+		if e.pendingSq {
+			return // a parked squash will remove this instruction's path
+		}
+		switch {
+		case e.in.Op == isa.OpHalt:
+			c.halted = true
+			c.stats.Committed++
+			c.lastCommitCycle = c.cycle
+			c.headSeq++
+			return
+		case e.in.Op.IsCondBranch():
+			if !e.effectApplied {
+				return
+			}
+		case e.isStore():
+			if !e.addrValid || !e.sqDataReady {
+				return
+			}
+			if e.in.Op == isa.OpStore {
+				c.data.Write64(e.addr, e.sqData)
+			} else {
+				c.data.Write8(e.addr, byte(e.sqData))
+			}
+			c.port.Store(c.cycle, e.addr)
+		case e.in.Op == isa.OpFlush:
+			// Address sources are committed by now; read the regfile.
+			c.port.Flush(c.regs[e.in.Rs] + uint64(e.in.Imm))
+		case e.isLoad():
+			if e.state != stDone {
+				return
+			}
+			if e.obl != oblNone && e.obl != oblResolved {
+				if e.valInFlight && !e.exposure {
+					c.stats.ValidationStall++
+				}
+				return
+			}
+			if e.valInFlight && !e.exposure {
+				// Validation must complete before retirement (§V-C1);
+				// exposures retire immediately.
+				c.stats.ValidationStall++
+				return
+			}
+		case e.fpSDO && !e.effectApplied:
+			return // resolution (and possible squash) still pending
+		default:
+			if e.state != stDone {
+				return
+			}
+		}
+		if e.hasDest {
+			c.regs[e.in.Rd] = e.destVal
+			if c.renameMap[e.in.Rd] == int64(e.seq) {
+				c.renameMap[e.in.Rd] = -1
+			}
+		}
+		if len(c.lq) > 0 && c.lq[0] == e.seq {
+			c.lq = c.lq[1:]
+		}
+		if len(c.sq) > 0 && c.sq[0] == e.seq {
+			c.sq = c.sq[1:]
+		}
+		if c.tracer != nil {
+			c.trace("commit", "seq=%d pc=%d %v val=%#x", e.seq, e.pc, e.in, e.destVal)
+		}
+		c.headSeq++
+		c.stats.Committed++
+		c.lastCommitCycle = c.cycle
+	}
+}

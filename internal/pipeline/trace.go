@@ -1,0 +1,23 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+)
+
+// SetTracer directs a cycle-by-cycle event log (rename, load issue, branch
+// resolution, squash, commit) to w. Pass nil to disable. The format is one
+// line per event:
+//
+//	[cycle] event seq=.. pc=.. <details>
+//
+// Tracing is for debugging and teaching; it does not affect simulation
+// results.
+func (c *Core) SetTracer(w io.Writer) { c.tracer = w }
+
+func (c *Core) trace(event string, format string, args ...any) {
+	if c.tracer == nil {
+		return
+	}
+	fmt.Fprintf(c.tracer, "[%8d] %-14s %s\n", c.cycle, event, fmt.Sprintf(format, args...))
+}

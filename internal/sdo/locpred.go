@@ -1,0 +1,210 @@
+package sdo
+
+import "repro/internal/mem"
+
+// LocationPredictor predicts which memory level an Obl-Ld should look up
+// (§V-D). A prediction of mem.LevelMem means "the data is in DRAM": per
+// §VI-B2 the core then reverts to STT's delay-until-safe for that load
+// instead of issuing an Obl-Ld, avoiding a guaranteed squash.
+//
+// Predict takes the load's static PC — public information under STT — and,
+// for the oracle predictor only, the load address. Update is called only
+// when the load is safe (per §V-C3: on success with the found level; after
+// a failed Obl-Ld, with the level the validation found data in).
+type LocationPredictor interface {
+	Predict(pc uint64, addr uint64) mem.Level
+	Update(pc uint64, actual mem.Level)
+	Name() string
+}
+
+// Static always predicts a fixed cache level (Table II's Static L1/L2/L3).
+type Static struct{ Level mem.Level }
+
+// Predict returns the fixed level.
+func (s Static) Predict(uint64, uint64) mem.Level { return s.Level }
+
+// Update is a no-op.
+func (s Static) Update(uint64, mem.Level) {}
+
+// Name returns e.g. "Static L2".
+func (s Static) Name() string { return "Static " + s.Level.String() }
+
+// Perfect is the oracle predictor of Table II: it always predicts the
+// level that actually holds the data, by probing the hierarchy with the
+// load address. It exists to bound SDO's potential (§VIII-B); a real
+// implementation could not use the tainted address.
+type Perfect struct {
+	// Probe returns the closest level currently holding addr.
+	Probe func(addr uint64) mem.Level
+}
+
+// Predict returns the true level (LevelMem delays the load until safe).
+func (p Perfect) Predict(_ uint64, addr uint64) mem.Level { return p.Probe(addr) }
+
+// Update is a no-op.
+func (p Perfect) Update(uint64, mem.Level) {}
+
+// Name returns "Perfect".
+func (p Perfect) Name() string { return "Perfect" }
+
+// hybridEntry is one per-PC slot of the Hybrid predictor. The fields pack
+// conceptually into 8 bytes (greedy ring: 8x3 bits; loop: 2x6+2+2 bits;
+// choice: 2 bits; partial tag), giving the paper's 4 KB budget at 512
+// entries.
+type hybridEntry struct {
+	tag uint32
+
+	// greedy state: the levels of the last GreedyWindow dynamic instances.
+	recent [greedyWindow]mem.Level
+	n      uint8 // valid entries in recent
+	head   uint8
+
+	// loop state: runs of L1 hits separated by single lower-level hits.
+	curRun   uint16    // L1 hits since the last non-L1 access
+	period   uint16    // learned run length
+	lowLevel mem.Level // the level the periodic miss goes to
+	perConf  uint8     // 2-bit confidence that period repeats
+
+	// choice: 2-bit counter; >=2 selects loop, else greedy.
+	choice uint8
+}
+
+const greedyWindow = 8
+
+// Hybrid is the paper's hybrid location predictor (§V-D): per-PC, it
+// arbitrates between a greedy component (predict the lowest level seen in
+// the last m instances — favouring imprecision over inaccuracy) and a loop
+// component (predict the frequency of lower-level accesses in
+// constant-stride streams), via a saturating confidence counter.
+type Hybrid struct {
+	entries []hybridEntry
+	mask    uint32
+
+	// ColdLevel is predicted for PCs with no history yet.
+	ColdLevel mem.Level
+}
+
+// NewHybrid returns a hybrid predictor with the given number of entries
+// (power of two; 512 entries ≈ the paper's 4 KB state).
+func NewHybrid(entries int) *Hybrid {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("sdo: hybrid entries must be a positive power of two")
+	}
+	return &Hybrid{
+		entries:   make([]hybridEntry, entries),
+		mask:      uint32(entries - 1),
+		ColdLevel: mem.L2,
+	}
+}
+
+// Name returns "Hybrid".
+func (h *Hybrid) Name() string { return "Hybrid" }
+
+func (h *Hybrid) slot(pc uint64) *hybridEntry {
+	idx := uint32(pc) & h.mask
+	tag := uint32(pc >> 1)
+	e := &h.entries[idx]
+	if e.tag != tag {
+		*e = hybridEntry{tag: tag}
+	}
+	return e
+}
+
+func (e *hybridEntry) greedyPredict(cold mem.Level) mem.Level {
+	if e.n == 0 {
+		return cold
+	}
+	max := mem.LevelNone
+	for i := uint8(0); i < e.n; i++ {
+		if e.recent[i] > max {
+			max = e.recent[i]
+		}
+	}
+	return max
+}
+
+func (e *hybridEntry) loopPredict() mem.Level {
+	if e.perConf < 2 || e.period == 0 {
+		// No stable period learned; behave like an L1 predictor within a
+		// run (the common case for pattern 2 is L1 hits).
+		return mem.L1
+	}
+	if e.curRun >= e.period {
+		// The next access is due to miss to the learned lower level.
+		return e.lowLevel
+	}
+	return mem.L1
+}
+
+// Predict returns the level for the load at pc (addr is ignored: the
+// hybrid predictor is PC-indexed, as evaluated in the paper).
+func (h *Hybrid) Predict(pc uint64, _ uint64) mem.Level {
+	e := h.slot(pc)
+	if e.choice >= 2 {
+		return e.loopPredict()
+	}
+	return e.greedyPredict(h.ColdLevel)
+}
+
+// Update trains all three components with the actual level.
+func (h *Hybrid) Update(pc uint64, actual mem.Level) {
+	e := h.slot(pc)
+
+	// What would each component have predicted? (Evaluated before state
+	// changes, mirroring hardware that trains on the resolved instance.)
+	gp := e.greedyPredict(h.ColdLevel)
+	lp := e.loopPredict()
+
+	// Choice policy: inaccuracy (predicting above the actual level) causes
+	// a squash, which costs far more than imprecision costs latency — so a
+	// component that would have squashed is deselected hard, and exact
+	// matches nudge the counter (the §V-D "favour imprecision over
+	// inaccuracy" principle applied to arbitration).
+	gGood := gp == actual
+	lGood := lp == actual
+	gBad := gp < actual && gp != mem.LevelMem
+	lBad := lp < actual && lp != mem.LevelMem
+	switch {
+	case lBad && !gBad:
+		e.choice = 0 // the loop component would have squashed: use greedy
+	case gBad && !lBad:
+		if e.choice < 3 {
+			e.choice++
+		}
+	case lGood && !gGood:
+		if e.choice < 3 {
+			e.choice++
+		}
+	case gGood && !lGood:
+		if e.choice > 0 {
+			e.choice--
+		}
+	}
+
+	// Greedy ring.
+	e.recent[e.head] = actual
+	e.head = (e.head + 1) % greedyWindow
+	if e.n < greedyWindow {
+		e.n++
+	}
+
+	// Loop component.
+	if actual == mem.L1 {
+		if e.curRun < ^uint16(0) {
+			e.curRun++
+		}
+		return
+	}
+	if e.period != 0 && e.curRun == e.period && e.lowLevel == actual {
+		if e.perConf < 3 {
+			e.perConf++
+		}
+	} else {
+		if e.perConf > 0 {
+			e.perConf--
+		}
+		e.period = e.curRun
+		e.lowLevel = actual
+	}
+	e.curRun = 0
+}

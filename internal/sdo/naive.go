@@ -1,0 +1,55 @@
+package sdo
+
+// ExecuteAll is the naïve data-oblivious strategy §I-A describes before
+// introducing prediction: run *every* DO variant of the transmitter and,
+// once all complete, select the result of the one that succeeded. It is
+// secure without a predictor — which variant produced the result is hidden
+// because all of them always run and the consumer waits for the slowest —
+// but it pays worst-case work and worst-case latency on every invocation.
+//
+// The SDO paper's contribution is precisely to replace this with a safe
+// prediction; ExecuteAll exists as the baseline that motivates it, and for
+// transmitters whose variant set is small enough that worst-case execution
+// is acceptable.
+type ExecuteAll[A, R any] struct {
+	// Variants are the DO variants; at least one must succeed for every
+	// reachable argument, otherwise Run reports ok == false.
+	Variants []Variant[A, R]
+	// Cost returns the latency of variant i (a constant per variant, by
+	// Definition 2). Optional: used by RunCost.
+	Cost func(i int) uint64
+}
+
+// Run executes every variant and returns the first (closest-to-index-0)
+// successful result. ok is false when no variant succeeded — the caller
+// must then treat the operation like a failed prediction (squash and
+// re-execute non-speculatively).
+func (e *ExecuteAll[A, R]) Run(args A) (result R, ok bool) {
+	found := false
+	var out R
+	// Every variant runs unconditionally: resource usage is the same for
+	// all arguments.
+	for _, v := range e.Variants {
+		success, r := v(args)
+		if success && !found {
+			out = r
+			found = true
+		}
+	}
+	return out, found
+}
+
+// RunCost executes every variant like Run and also returns the operation's
+// latency: the maximum variant cost, independent of which variant
+// succeeded (the consumer may not learn which class the argument was in).
+func (e *ExecuteAll[A, R]) RunCost(args A) (result R, ok bool, latency uint64) {
+	result, ok = e.Run(args)
+	if e.Cost != nil {
+		for i := range e.Variants {
+			if c := e.Cost(i); c > latency {
+				latency = c
+			}
+		}
+	}
+	return result, ok, latency
+}

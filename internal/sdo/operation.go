@@ -1,0 +1,113 @@
+// Package sdo implements the paper's contribution: Speculative
+// Data-Oblivious execution.
+//
+// It has two halves. The first is the general SDO-operation framework of
+// §IV: given a transmitter f, a set of data-oblivious variants Obl-f_i
+// (Definition 1: a variant that returns success produced f's result;
+// Definition 2: a variant's resource usage is independent of its operands)
+// and a DO predictor choosing which variant to run, Operation assembles the
+// Obl-f construction of Figure 2 — issue the predicted variant immediately
+// with tainted operands, forward the (tainted) result unconditionally, and
+// resolve (predictor update or squash) only once the operands untaint.
+//
+// The second half is the load instance of that framework (§V): the
+// location predictors that choose which cache level an Obl-Ld should look
+// up. The Obl-Ld datapath itself lives in internal/mem (OblLoad) and the
+// event-ordering state machine in internal/pipeline; this package owns the
+// prediction policy.
+package sdo
+
+// Variant is one data-oblivious implementation Obl-f_i of a transmitter
+// (Equation 1). It returns success and, when successful, the same result
+// f would have produced; on failure the result is undefined (Definition 1).
+//
+// Definition 2 (operand-independent resource usage) is a property of the
+// implementation that this type cannot enforce by construction; the tests
+// check it for the variants shipped here by comparing cost metadata across
+// operands.
+type Variant[A, R any] func(args A) (success bool, presult R)
+
+// DOPredictor selects which DO variant to execute (Equation 2/3). Predict
+// and Update must be functions of untainted inputs only — under STT the PC
+// is always untainted, so predictors here key on the PC.
+type DOPredictor interface {
+	// Predict returns the index of the variant to run for the transmitter
+	// at pc.
+	Predict(pc uint64) int
+	// Update trains the predictor with the variant that would have
+	// succeeded. Called only once the operands are untainted (Figure 2,
+	// lines 11-16).
+	Update(pc uint64, actual int)
+}
+
+// Operation is an SDO operation Obl-f assembled from a transmitter's
+// reference implementation, its DO variants, and a DO predictor.
+type Operation[A, R any] struct {
+	// Name identifies the operation in diagnostics.
+	Name string
+	// Reference is the original transmitter f, used when a failed
+	// prediction is re-executed after the squash (Figure 2 line 16).
+	Reference func(A) R
+	// Variants are the DO variants Obl-f_1..Obl-f_N.
+	Variants []Variant[A, R]
+	// Predictor selects a variant per dynamic instance.
+	Predictor DOPredictor
+}
+
+// Issued records Part 1 of Figure 2: the variant chosen, whether it
+// succeeded, and the (tainted) result that was unconditionally forwarded.
+// Success and Result must be treated as tainted until resolution.
+type Issued[R any] struct {
+	Variant int
+	Success bool
+	Result  R
+}
+
+// Issue executes Part 1 of Figure 2 for the transmitter at pc with
+// (possibly tainted) args: predict a variant, run it, and return its
+// outcome. The caller forwards Result to dependents regardless of Success,
+// tainting it under STT so no dependent can reveal whether it is correct.
+func (op *Operation[A, R]) Issue(pc uint64, args A) Issued[R] {
+	i := op.Predictor.Predict(pc)
+	if i < 0 || i >= len(op.Variants) {
+		i = 0
+	}
+	ok, res := op.Variants[i](args)
+	return Issued[R]{Variant: i, Success: ok, Result: res}
+}
+
+// Resolution is the outcome of Part 2 of Figure 2.
+type Resolution[R any] struct {
+	// Squash is true when the prediction failed: the core must squash
+	// instructions starting at the transmitter and replay with Result.
+	Squash bool
+	// Result is the architecturally correct value: the issued result on
+	// success, or the reference re-execution on failure.
+	Result R
+}
+
+// Resolve executes Part 2 of Figure 2, once args are untainted: on success
+// it trains the predictor and confirms the forwarded result; on failure it
+// demands a squash and re-executes the reference transmitter (which is now
+// safe, since args are untainted).
+func (op *Operation[A, R]) Resolve(pc uint64, args A, iss Issued[R]) Resolution[R] {
+	if iss.Success {
+		op.Predictor.Update(pc, iss.Variant)
+		return Resolution[R]{Result: iss.Result}
+	}
+	// Optional update with the correct variant when known is the caller's
+	// choice; the generic framework re-executes f and, if some variant
+	// would have succeeded, callers can call Predictor.Update themselves.
+	return Resolution[R]{Squash: true, Result: op.Reference(args)}
+}
+
+// StaticDOPredictor always predicts the same variant (the paper's static
+// predictors, and the "statically predict normal" FP policy of §I-A).
+type StaticDOPredictor int
+
+// Predict returns the fixed variant index.
+func (s StaticDOPredictor) Predict(uint64) int { return int(s) }
+
+// Update is a no-op: static predictors have no state, and therefore
+// trivially satisfy the no-tainted-updates rule.
+func (s StaticDOPredictor) Update(uint64, int) {}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// RandomOptions bounds the shape of generated programs.
+type RandomOptions struct {
+	Blocks        int // straight-line blocks
+	BlockLen      int // max instructions per block
+	Loops         int // bounded counted loops wrapping random bodies
+	MaxIterations int // per loop
+	// ArenaBase overrides the memory arena's base address (0 uses the
+	// default). Programs meant to run on separate cores of one shared
+	// memory should use disjoint arenas.
+	ArenaBase uint64
+}
+
+// DefaultRandomOptions returns a medium-size program shape.
+func DefaultRandomOptions() RandomOptions {
+	return RandomOptions{Blocks: 6, BlockLen: 12, Loops: 3, MaxIterations: 24}
+}
+
+// Register conventions for generated programs: the generator mutates only
+// r1..r15; r16+ are reserved plumbing (arena base, masks, loop counters)
+// so loops always terminate.
+const (
+	rndArenaBase  = isa.R16
+	rndAddrMask   = isa.R17
+	rndAlignMask  = isa.R18
+	rndLoopReg0   = isa.R20 // R20..R25: loop counters/bounds
+	rndScratchLo  = 1
+	rndScratchHi  = 15
+	rndArenaAddr  = 0x10_0000
+	rndArenaBytes = 1 << 16 // 64KB arena keeps runs cache-interesting
+)
+
+// RandomProgram generates a structured, guaranteed-terminating program:
+// random ALU/FP/memory instructions inside straight-line blocks, counted
+// loops, and forward conditional branches on data values. All memory
+// accesses land inside a 64KB arena (addresses are masked), so the golden
+// model and every pipeline configuration can be compared byte-for-byte.
+//
+// OpRdCyc is never generated (its value is timing-dependent by design) and
+// OpFlush is (it is architecturally inert).
+func RandomProgram(rng *rand.Rand, opt RandomOptions) (*isa.Program, func(*isa.Memory)) {
+	b := isa.NewBuilder()
+	labelN := 0
+	newLabel := func() string {
+		labelN++
+		return "L" + string(rune('a'+labelN%26)) + itoa(labelN)
+	}
+
+	scratch := func() isa.Reg {
+		return isa.Reg(rndScratchLo + rng.Intn(rndScratchHi-rndScratchLo+1))
+	}
+
+	arena := opt.ArenaBase
+	if arena == 0 {
+		arena = rndArenaAddr
+	}
+
+	// Plumbing.
+	b.MovI(rndArenaBase, int64(arena))
+	b.MovI(rndAddrMask, rndArenaBytes-8)
+	b.MovI(rndAlignMask, ^int64(7))
+	for r := rndScratchLo; r <= rndScratchHi; r++ {
+		b.MovI(isa.Reg(r), rng.Int63n(1<<20))
+	}
+
+	// emitMemAddr computes a masked, aligned arena address into rd.
+	emitMemAddr := func(rd isa.Reg) {
+		src := scratch()
+		b.And(rd, src, rndAddrMask)
+		b.And(rd, rd, rndAlignMask)
+		b.Add(rd, rd, rndArenaBase)
+	}
+
+	emitInstr := func() {
+		switch rng.Intn(10) {
+		case 0, 1, 2: // int ALU
+			ops := []func(rd, rs, rt isa.Reg) *isa.Builder{b.Add, b.Sub, b.Mul, b.And, b.Or, b.Xor}
+			ops[rng.Intn(len(ops))](scratch(), scratch(), scratch())
+		case 3: // shift / div
+			if rng.Intn(2) == 0 {
+				b.Shl(scratch(), scratch(), scratch())
+			} else {
+				b.Div(scratch(), scratch(), scratch())
+			}
+		case 4: // immediates
+			b.AddI(scratch(), scratch(), rng.Int63n(4096)-2048)
+		case 5, 6: // load (possibly byte)
+			addr := scratch()
+			emitMemAddr(addr)
+			if rng.Intn(4) == 0 {
+				b.LoadB(scratch(), addr, int64(rng.Intn(8)))
+			} else {
+				b.Load(scratch(), addr, 0)
+			}
+		case 7: // store
+			addr := scratch()
+			emitMemAddr(addr)
+			if rng.Intn(4) == 0 {
+				b.StoreB(scratch(), addr, int64(rng.Intn(8)))
+			} else {
+				b.Store(scratch(), addr, 0)
+			}
+		case 8: // FP
+			x, y, z := scratch(), scratch(), scratch()
+			b.ItoF(x, x)
+			b.ItoF(y, y)
+			switch rng.Intn(4) {
+			case 0:
+				b.FAdd(z, x, y)
+			case 1:
+				b.FMul(z, x, y)
+			case 2:
+				b.FDiv(z, x, y)
+			case 3:
+				b.FSqrt(z, x)
+			}
+			b.FtoI(z, z)
+		case 9: // forward data-dependent branch over one instruction
+			skip := newLabel()
+			ops := []func(rs, rt isa.Reg, l string) *isa.Builder{b.Beq, b.Bne, b.Blt, b.Bge}
+			ops[rng.Intn(len(ops))](scratch(), scratch(), skip)
+			b.Add(scratch(), scratch(), scratch())
+			b.Label(skip)
+		}
+	}
+
+	emitBlock := func() {
+		n := 1 + rng.Intn(opt.BlockLen)
+		for i := 0; i < n; i++ {
+			emitInstr()
+		}
+	}
+
+	loopsLeft := opt.Loops
+	for blk := 0; blk < opt.Blocks; blk++ {
+		if loopsLeft > 0 && rng.Intn(2) == 0 {
+			loopsLeft--
+			ctr := rndLoopReg0 + isa.Reg(loopsLeft*2)
+			bound := ctr + 1
+			top := newLabel()
+			b.MovI(ctr, 0)
+			b.MovI(bound, int64(1+rng.Intn(opt.MaxIterations)))
+			b.Label(top)
+			emitBlock()
+			b.AddI(ctr, ctr, 1)
+			b.Blt(ctr, bound, top)
+		} else {
+			emitBlock()
+		}
+	}
+	b.Halt()
+
+	prog := b.MustBuild()
+	seed := rng.Int63()
+	init := func(m *isa.Memory) {
+		r := rand.New(rand.NewSource(seed))
+		for off := 0; off < rndArenaBytes; off += 8 {
+			m.Write64(arena+uint64(off), uint64(r.Int63()))
+		}
+	}
+	return prog, init
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

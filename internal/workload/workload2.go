@@ -1,0 +1,217 @@
+package workload
+
+import "repro/internal/isa"
+
+// This file holds the second half of the suite: kernels imitating
+// 500.perlbench_r, 641.leela_s, 657.xz_s and 607.cactuBSSN_s, extending
+// coverage to byte-granularity string processing, game-tree search,
+// compression match-finding and dense FP stencils.
+
+// perlbench imitates 500.perlbench_r: interpreter/string processing —
+// byte loads sweeping an L2-resident text buffer, per-character hash
+// arithmetic, a character-class branch, and dependent lookups into hot
+// interpreter tables (opcode dispatch).
+func perlbench() Workload {
+	const (
+		hot   = 0xB00_0000
+		text  = 0xB10_0000
+		tlen  = 1 << 17 // 128KB text: L2-resident
+		iters = 18_000
+	)
+	return Workload{
+		Name: "perlbench_r",
+		Desc: "byte-wise string hashing over an L2 text buffer with hot dispatch tables",
+		Build: func() (*isa.Program, func(*isa.Memory)) {
+			b := isa.NewBuilder()
+			prologue(b, iters, hot, text, 0, 0)
+			b.MovI(kCur, 0)      // text offset
+			b.MovI(isa.R9, 31)   // hash multiplier
+			b.MovI(kTmp, tlen-1) // text mask
+			b.MovI(isa.R8, 0x20) // character-class threshold
+			b.Label("loop")
+			b.Add(isa.R1, kL2, kCur)               // kL2 holds the text base
+			b.LoadB(isa.R2, isa.R1, 0)             // next character (byte load)
+			b.Mul(kAcc, kAcc, isa.R9)              // hash = hash*31 + c
+			b.Add(kAcc, kAcc, isa.R2)              //
+			gather(b, isa.R3, isa.R2, kHot, kHotM) // opcode dispatch: L1, tainted
+			gather(b, isa.R5, isa.R3, kHot, kHotM) // handler data: L1, tainted
+			b.Blt(isa.R2, isa.R8, "control")       // control characters are rare
+			b.Add(kAcc, kAcc, isa.R5)
+			b.Jmp("next")
+			b.Label("control")
+			b.Xor(kAcc, kAcc, isa.R5)
+			b.Label("next")
+			b.AddI(kCur, kCur, 1)
+			b.And(kCur, kCur, kTmp)
+			epilogue(b, "loop")
+			prog := b.MustBuild()
+			init := func(m *isa.Memory) {
+				rng := xorshift(500)
+				fillRegion(m, hot, hotSlots, func(int) uint64 { return rng.next() % 251 })
+				for i := 0; i < tlen; i++ {
+					// Mostly printable bytes; ~3% control characters.
+					c := byte(0x20 + rng.next()%95)
+					if rng.next()%32 == 0 {
+						c = byte(rng.next() % 0x20)
+					}
+					m.Write8(text+uint64(i), c)
+				}
+			}
+			return prog, init
+		},
+	}
+}
+
+// leela imitates 641.leela_s: Monte-Carlo tree search — a loop-carried
+// descent through an L3-resident tree, pattern-table lookups (hot), and a
+// playout branch on node statistics (biased but data-dependent).
+func leela() Workload {
+	const (
+		hot   = 0xC00_0000
+		tree  = 0xC10_0000 // 512KB node pool: L3-resident
+		iters = 16_000
+	)
+	return Workload{
+		Name: "leela_r",
+		Desc: "MCTS descent: loop-carried chase through an L3 tree + hot pattern tables",
+		Build: func() (*isa.Program, func(*isa.Memory)) {
+			b := isa.NewBuilder()
+			prologue(b, iters, hot, 0, tree, 0)
+			b.MovI(kTmp, (1<<16-1)*8) // 64K-slot node-pool mask (512KB)
+			b.MovI(isa.R9, 7)
+			b.Label("loop")
+			// Descend: child = tree[node & mask] (tainted, loop-carried).
+			b.Shl(isa.R1, kChase, kSh3)
+			b.And(isa.R1, isa.R1, kTmp)
+			b.Add(isa.R1, isa.R1, kL3)
+			b.Load(kChase, isa.R1, 0)              // child pointer: L3
+			b.Load(isa.R2, isa.R1, 8)              // visit count: L3 (same line)
+			gather(b, isa.R3, kChase, kHot, kHotM) // pattern weight: L1, tainted
+			b.And(isa.R5, isa.R2, isa.R9)
+			b.Beq(isa.R5, isa.R9, "expand") // expansion is rare (1/8)
+			b.Add(kAcc, kAcc, isa.R3)
+			b.Jmp("next")
+			b.Label("expand")
+			gather(b, isa.R6, isa.R3, kHot, kHotM) // prior table: L1, tainted
+			b.Add(kAcc, kAcc, isa.R6)
+			b.Label("next")
+			epilogue(b, "loop")
+			prog := b.MustBuild()
+			init := func(m *isa.Memory) {
+				rng := xorshift(641)
+				fillRegion(m, hot, hotSlots, func(int) uint64 { return rng.next() % 361 })
+				fillRegion(m, tree, 1<<16, func(int) uint64 { return rng.next() })
+			}
+			return prog, init
+		},
+	}
+}
+
+// xz imitates 657.xz_s: LZMA match finding — hash-chain chases across a
+// multi-megabyte dictionary window (L3/DRAM mix), a streamed literal load,
+// and a biased match/no-match branch on dictionary data. The
+// high-memory-pressure integer benchmark alongside mcf.
+func xz() Workload {
+	const (
+		hot   = 0xD00_0000
+		dict  = 0xD10_0000 // 4MB dictionary window
+		iters = 13_000
+	)
+	return Workload{
+		Name: "xz_r",
+		Desc: "LZMA match finder: hash-chain chases across a 4MB window (L3/DRAM)",
+		Build: func() (*isa.Program, func(*isa.Memory)) {
+			b := isa.NewBuilder()
+			prologue(b, iters, hot, 0, dict, 0)
+			b.MovI(kTmp, (bigSlots-1)*8) // 4MB window mask
+			b.MovI(isa.R9, 0x9E3779B9)
+			b.MovI(isa.R8, 14)
+			b.Label("loop")
+			// Position hash (untainted address arithmetic).
+			b.Mul(isa.R1, kIdx, isa.R9)
+			b.Shr(isa.R2, isa.R1, isa.R8)
+			b.Xor(isa.R1, isa.R1, isa.R2)
+			b.Shl(isa.R1, isa.R1, kSh3)
+			b.And(isa.R1, isa.R1, kTmp)
+			b.Add(isa.R1, isa.R1, kL3) // kL3 holds the dictionary base
+			b.Load(isa.R3, isa.R1, 0)  // head of hash chain: full window, L3/DRAM
+			// Chain hop into the *recent* part of the window: match chains
+			// cluster near the current position, so the tainted hop stays
+			// cache-resident even though heads roam the whole 4MB.
+			b.MovI(isa.R2, (1<<13-1)*8) // 64KB recent-history mask
+			b.Shl(isa.R5, isa.R3, kSh3)
+			b.And(isa.R5, isa.R5, isa.R2)
+			b.Add(isa.R5, isa.R5, kL3)
+			b.Load(isa.R6, isa.R5, 0)              // chain entry: tainted, L2/L3
+			gather(b, isa.R7, isa.R6, kHot, kHotM) // length table: L1, tainted
+			b.MovI(isa.R2, 60)
+			b.And(isa.R5, isa.R6, isa.R2)
+			b.Beq(isa.R5, isa.R2, "match") // long matches are rare
+			b.Add(kAcc, kAcc, isa.R7)
+			b.Jmp("next")
+			b.Label("match")
+			b.Sub(kAcc, kAcc, isa.R7)
+			b.Label("next")
+			epilogue(b, "loop")
+			prog := b.MustBuild()
+			init := func(m *isa.Memory) {
+				rng := xorshift(657)
+				fillRegion(m, hot, hotSlots, func(int) uint64 { return rng.next() % 273 })
+				fillRegion(m, dict, bigSlots, func(int) uint64 { return rng.next() })
+			}
+			return prog, init
+		},
+	}
+}
+
+// cactuBSSN imitates 607.cactuBSSN_s: numerical relativity — a very
+// FP-dense stencil over an L2-resident grid: every loaded value feeds a
+// chain of fmul/fdiv/fsqrt transmitters, making it the stress case for
+// STT{ld+fp} vs SDO's data-oblivious FP execution.
+func cactuBSSN() Workload {
+	const (
+		grid   = 0xE00_0000
+		gslots = 1 << 14 // 128KB grid: L2-resident
+		iters  = 12_000
+	)
+	return Workload{
+		Name: "cactuBSSN_r",
+		FP:   true,
+		Desc: "dense FP stencil: chains of fmul/fdiv/fsqrt on every loaded value",
+		Build: func() (*isa.Program, func(*isa.Memory)) {
+			b := isa.NewBuilder()
+			prologue(b, iters, grid, 0, 0, 0)
+			b.MovI(kTmp, (gslots-1)*8)
+			b.MovI(isa.R9, 3)
+			b.ItoF(isa.R9, isa.R9)
+			b.MovI(kAcc, 0)
+			b.ItoF(kAcc, kAcc)
+			b.Label("loop")
+			b.Shl(isa.R1, kIdx, kSh3)
+			b.And(isa.R1, isa.R1, kTmp)
+			b.Add(isa.R1, isa.R1, kHot)    // kHot holds the grid base
+			b.Load(isa.R2, isa.R1, 0)      // metric component
+			b.Load(isa.R3, isa.R1, 8)      // neighbour
+			b.FMul(isa.R5, isa.R2, isa.R3) // tainted transmitters, chained:
+			b.FMul(isa.R6, isa.R5, isa.R2)
+			b.FDiv(isa.R7, isa.R6, isa.R9)
+			b.FSqrt(isa.R8, isa.R7)
+			b.FAdd(kAcc, kAcc, isa.R8)
+			// Adaptive-refinement lookup addressed by the FP result: a
+			// tainted load at the end of the FP transmitter chain, so
+			// delaying the chain (STT{ld+fp}) or the load (both STT modes)
+			// stretches the per-iteration critical path.
+			b.Shr(isa.R5, isa.R8, kSh3)
+			gather(b, isa.R6, isa.R5, kHot, kHotM)
+			b.Add(kAcc, kAcc, isa.R6)
+			epilogue(b, "loop")
+			prog := b.MustBuild()
+			init := func(m *isa.Memory) {
+				fillRegion(m, grid, gslots, func(i int) uint64 {
+					return 4602891378046628709 + uint64(i)*131
+				})
+			}
+			return prog, init
+		},
+	}
+}
