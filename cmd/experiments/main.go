@@ -7,6 +7,7 @@
 //	experiments                   # everything (Tables I-III, Figures 6-8, summary)
 //	experiments -fig6             # just Figure 6
 //	experiments -instrs 100000    # bigger measurement windows
+//	experiments -export BENCH_sweep.json   # capture the JSON export (CI trajectories)
 //	experiments -workloads mcf_r,gcc_r -serial -v
 package main
 
@@ -31,6 +32,7 @@ func main() {
 		summary = flag.Bool("summary", false, "§VIII-B headline summary")
 		ablate  = flag.Bool("ablate", false, "design-space ablations of individual SDO mechanisms")
 		asJSON  = flag.Bool("json", false, "emit the sweep as JSON instead of text reports")
+		export  = flag.String("export", "", "also write the sweep's JSON export to this file")
 		instrs  = flag.Uint64("instrs", 60_000, "measured instructions per run")
 		warmup  = flag.Uint64("warmup", 50_000, "warmup instructions per run")
 		wls     = flag.String("workloads", "", "comma-separated subset (default: all)")
@@ -92,6 +94,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err == nil {
+			err = res.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: export:", err)
+			os.Exit(1)
+		}
 	}
 
 	switch {

@@ -1,0 +1,83 @@
+// Command sdoserver runs the simulation service: a long-running HTTP
+// server over the experiment harness with a bounded worker pool and a
+// persistent content-addressed result cache. Because the simulator is
+// fully deterministic, a repeated sweep is answered entirely from cache.
+//
+// Usage:
+//
+//	sdoserver                          # listen on :8344, cache in sdo-cache.json
+//	sdoserver -addr :9000 -workers 4 -cache /var/lib/sdo/cache.json
+//
+// API (see README.md "Simulation service"):
+//
+//	curl -X POST localhost:8344/sweeps -d '{"workloads":["mcf_r"],"max_instrs":60000}'
+//	curl localhost:8344/sweeps/sweep-1            # status
+//	curl localhost:8344/sweeps/sweep-1/progress   # streamed per-run lines
+//	curl localhost:8344/sweeps/sweep-1/export     # harness Export JSON
+//	curl localhost:8344/metrics
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight simulations finish and
+// the cache is persisted, so a restarted server answers from cache.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/simsvc"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8344", "listen address")
+		cache   = flag.String("cache", "sdo-cache.json", "result-cache file (empty: in-memory only)")
+		workers = flag.Int("workers", 0, "concurrent simulations (0: all CPUs)")
+		drain   = flag.Duration("drain", 2*time.Minute, "shutdown grace period for in-flight runs")
+	)
+	flag.Parse()
+
+	svc, err := simsvc.New(simsvc.Config{Workers: *workers, CachePath: *cache})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdoserver:", err)
+		os.Exit(1)
+	}
+	if n := svc.Cache().Len(); n > 0 {
+		fmt.Fprintf(os.Stderr, "sdoserver: loaded %d cached results from %s\n", n, *cache)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sdoserver: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "sdoserver:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "sdoserver: shutting down (finishing in-flight runs)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "sdoserver: http shutdown:", err)
+	}
+	if err := svc.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "sdoserver: service shutdown:", err)
+		os.Exit(1)
+	}
+	if *cache != "" {
+		fmt.Fprintf(os.Stderr, "sdoserver: cache persisted to %s (%d results)\n", *cache, svc.Cache().Len())
+	}
+}

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// tinySweep is a minimal sweep (2 workloads x 3 variants x 1 model) for
+// serialization tests.
+func tinySweep(t *testing.T) *Results {
+	t.Helper()
+	var wls []workload.Workload
+	for _, name := range []string{"gcc_r", "exchange2_r"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wls = append(wls, w)
+	}
+	res, err := Run(Options{
+		WarmupInstrs: 1000,
+		MaxInstrs:    3000,
+		Workloads:    wls,
+		Variants:     []core.Variant{core.Unsafe, core.STTLd, core.Hybrid},
+		Models:       []pipeline.AttackModel{pipeline.Spectre},
+		Parallel:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestExportGoldenOrdering locks down the Export document's layout: two
+// identical sweeps must marshal to byte-identical JSON (the cache-parity
+// and CI-trajectory comparisons depend on it), rows must be sorted, and
+// the field order must match the documented golden sequence.
+func TestExportGoldenOrdering(t *testing.T) {
+	a, b := tinySweep(t), tinySweep(t)
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteJSON(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("two identical sweeps marshalled to different bytes")
+	}
+
+	// Runs are sorted by (workload, model, variant), ascending.
+	ex := a.Export()
+	if len(ex.Runs) != 6 {
+		t.Fatalf("%d runs, want 6", len(ex.Runs))
+	}
+	variantOrd := func(s string) int {
+		v, err := core.ParseVariant(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int(v)
+	}
+	modelOrd := func(s string) int {
+		if s == pipeline.Spectre.String() {
+			return 0
+		}
+		return 1
+	}
+	for i := 1; i < len(ex.Runs); i++ {
+		p, q := ex.Runs[i-1], ex.Runs[i]
+		// Sorted by workload name, then model, then Table II variant order.
+		before := p.Workload < q.Workload ||
+			(p.Workload == q.Workload && modelOrd(p.Model) < modelOrd(q.Model)) ||
+			(p.Workload == q.Workload && p.Model == q.Model &&
+				variantOrd(p.Variant) < variantOrd(q.Variant))
+		if !before {
+			t.Fatalf("runs not sorted at %d: %v/%v/%v then %v/%v/%v",
+				i, p.Workload, p.Model, p.Variant, q.Workload, q.Model, q.Variant)
+		}
+	}
+
+	// Golden field sequences: top-level document and per-run rows.
+	doc := bufA.String()
+	assertOrder(t, doc, []string{
+		`"max_instrs"`, `"warmup_instrs"`, `"runs"`,
+		`"figure6"`, `"figure7"`, `"figure8"`, `"table3"`, `"summary"`,
+	})
+	firstRun := doc[strings.Index(doc, `"runs"`):]
+	assertOrder(t, firstRun, []string{
+		`"workload"`, `"variant"`, `"model"`, `"cycles"`, `"committed"`,
+		`"ipc"`, `"norm_time"`, `"squashes"`, `"delayed_loads"`,
+		`"obl_issued"`, `"obl_fail"`, `"validations"`, `"exposures"`,
+		`"pred_precise"`, `"pred_imprecise"`, `"pred_inaccurate"`,
+		`"validation_stall"`,
+	})
+
+	// And the document round-trips.
+	var back Export
+	if err := json.Unmarshal(bufA.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxInstrs != a.Opt.MaxInstrs || len(back.Runs) != len(ex.Runs) {
+		t.Fatal("round-trip lost data")
+	}
+}
+
+// assertOrder checks that each key first appears after its predecessor.
+func assertOrder(t *testing.T, s string, keys []string) {
+	t.Helper()
+	pos := -1
+	for _, k := range keys {
+		i := strings.Index(s, k)
+		if i < 0 {
+			t.Fatalf("missing field %s", k)
+		}
+		if i < pos {
+			t.Fatalf("field %s out of order", k)
+		}
+		pos = i
+	}
+}

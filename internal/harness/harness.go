@@ -11,6 +11,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -52,11 +53,53 @@ func DefaultOptions() Options {
 	}
 }
 
+// Normalized returns opt with unset fields filled from the defaults, so
+// every consumer (CLI sweep, simulation service) resolves a request the
+// same way.
+func (o Options) Normalized() Options {
+	if o.MaxInstrs == 0 {
+		o.MaxInstrs = DefaultOptions().MaxInstrs
+	}
+	if o.Workloads == nil {
+		o.Workloads = workload.All()
+	}
+	if o.Variants == nil {
+		o.Variants = core.Variants()
+	}
+	if o.Models == nil {
+		o.Models = []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic}
+	}
+	return o
+}
+
+// Workers returns the worker-pool size the options imply.
+func (o Options) Workers() int {
+	if o.Parallel {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
+}
+
 // Key identifies one run.
 type Key struct {
 	Workload string
 	Variant  core.Variant
 	Model    pipeline.AttackModel
+}
+
+// Cells enumerates the sweep's (workload, variant, model) grid in the
+// canonical order (workloads outermost, models innermost).
+func (o Options) Cells() []Key {
+	o = o.Normalized()
+	var cells []Key
+	for _, wl := range o.Workloads {
+		for _, v := range o.Variants {
+			for _, m := range o.Models {
+				cells = append(cells, Key{wl.Name, v, m})
+			}
+		}
+	}
+	return cells
 }
 
 // Results holds a completed sweep.
@@ -65,78 +108,61 @@ type Results struct {
 	Runs map[Key]core.Result
 }
 
+// RunOne executes a single simulation cell: one workload under one design
+// variant and attack model. This is the single execution path shared by
+// the CLI sweep, the ablation study and the simulation service.
+func RunOne(wl workload.Workload, v core.Variant, m pipeline.AttackModel, ab core.Ablation, warmup, maxInstrs uint64) (core.Result, error) {
+	prog, init := wl.Build()
+	machine := core.NewMachine(core.Config{
+		Variant:      v,
+		Model:        m,
+		Ablate:       ab,
+		WarmupInstrs: warmup,
+		MaxInstrs:    maxInstrs,
+	}, prog, init)
+	return machine.Run()
+}
+
+// FormatProgress renders the per-run progress line.
+func FormatProgress(k Key, r core.Result) string {
+	return fmt.Sprintf("%-14s %-11s %-10s %9d cycles (IPC %.2f)",
+		k.Workload, k.Variant, k.Model, r.Cycles, r.IPC())
+}
+
 // Run executes the sweep.
 func Run(opt Options) (*Results, error) {
-	if opt.MaxInstrs == 0 {
-		opt.MaxInstrs = DefaultOptions().MaxInstrs
-	}
-	if opt.Workloads == nil {
-		opt.Workloads = workload.All()
-	}
-	if opt.Variants == nil {
-		opt.Variants = core.Variants()
-	}
-	if opt.Models == nil {
-		opt.Models = []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic}
-	}
+	return RunContext(context.Background(), opt)
+}
+
+// RunContext executes the sweep on a fixed-size worker pool, stopping
+// (no new simulations are started) as soon as ctx is cancelled or any
+// run fails.
+func RunContext(ctx context.Context, opt Options) (*Results, error) {
+	opt = opt.Normalized()
 	res := &Results{Opt: opt, Runs: make(map[Key]core.Result)}
 
-	type job struct {
-		key Key
-		wl  workload.Workload
-	}
-	var jobs []job
+	byName := make(map[string]workload.Workload, len(opt.Workloads))
 	for _, wl := range opt.Workloads {
-		for _, v := range opt.Variants {
-			for _, m := range opt.Models {
-				jobs = append(jobs, job{Key{wl.Name, v, m}, wl})
-			}
-		}
+		byName[wl.Name] = wl
 	}
+	cells := opt.Cells()
 
 	var mu sync.Mutex
-	var firstErr error
-	runOne := func(j job) {
-		prog, init := j.wl.Build()
-		machine := core.NewMachine(core.Config{
-			Variant:      j.key.Variant,
-			Model:        j.key.Model,
-			WarmupInstrs: opt.WarmupInstrs,
-			MaxInstrs:    opt.MaxInstrs,
-		}, prog, init)
-		r, err := machine.Run()
+	err := RunPool(ctx, opt.Workers(), len(cells), func(ctx context.Context, i int) error {
+		k := cells[i]
+		r, err := RunOne(byName[k.Workload], k.Variant, k.Model, core.Ablation{}, opt.WarmupInstrs, opt.MaxInstrs)
+		if err != nil {
+			return fmt.Errorf("harness: %s/%v/%v: %w", k.Workload, k.Variant, k.Model, err)
+		}
 		mu.Lock()
 		defer mu.Unlock()
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("harness: %s/%v/%v: %w", j.key.Workload, j.key.Variant, j.key.Model, err)
-			return
-		}
-		res.Runs[j.key] = r
+		res.Runs[k] = r
 		if opt.Progress != nil {
-			opt.Progress(fmt.Sprintf("%-14s %-11s %-10s %9d cycles (IPC %.2f)",
-				j.key.Workload, j.key.Variant, j.key.Model, r.Cycles, r.IPC()))
+			opt.Progress(FormatProgress(k, r))
 		}
-	}
-
-	if opt.Parallel {
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		var wg sync.WaitGroup
-		for _, j := range jobs {
-			wg.Add(1)
-			go func(j job) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				runOne(j)
-			}(j)
-		}
-		wg.Wait()
-	} else {
-		for _, j := range jobs {
-			runOne(j)
-		}
-	}
-	return res, firstErr
+		return nil
+	})
+	return res, err
 }
 
 // Get returns one run's result.
@@ -331,51 +357,35 @@ func RunAblations(opt Options, model pipeline.AttackModel) ([]AblationRow, error
 		{Name: "no implicit-channel protection (INSECURE)", Ablate: core.Ablation{NoImplicitChannelProtection: true}},
 		{Name: "with DO DRAM variant", Ablate: core.Ablation{OblDRAMVariant: true}},
 	}
-	run := func(wl workload.Workload, v core.Variant, ab core.Ablation) (core.Result, error) {
-		prog, init := wl.Build()
-		m := core.NewMachine(core.Config{
-			Variant: v, Model: model, Ablate: ab,
-			WarmupInstrs: opt.WarmupInstrs, MaxInstrs: opt.MaxInstrs,
-		}, prog, init)
-		return m.Run()
-	}
-	type res struct {
-		row  int
-		wl   int
-		norm float64
-		err  error
-	}
-	results := make(chan res)
-	for wi, wl := range opt.Workloads {
-		go func(wi int, wl workload.Workload) {
-			base, err := run(wl, core.Unsafe, core.Ablation{})
-			if err != nil || base.Cycles == 0 {
-				for ri := range rows {
-					results <- res{ri, wi, 0, err}
-				}
-				return
-			}
-			for ri := range rows {
-				r, err := run(wl, core.Hybrid, rows[ri].Ablate)
-				results <- res{ri, wi, float64(r.Cycles) / float64(base.Cycles), err}
-			}
-		}(wi, wl)
-	}
 	sums := make([]float64, len(rows))
 	counts := make([]int, len(rows))
-	var firstErr error
-	for i := 0; i < len(rows)*len(opt.Workloads); i++ {
-		r := <-results
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
+	var mu sync.Mutex
+	err := RunPool(context.Background(), opt.Workers(), len(opt.Workloads), func(ctx context.Context, wi int) error {
+		wl := opt.Workloads[wi]
+		base, err := RunOne(wl, core.Unsafe, model, core.Ablation{}, opt.WarmupInstrs, opt.MaxInstrs)
+		if err != nil {
+			return err
 		}
-		if r.norm > 0 {
-			sums[r.row] += r.norm
-			counts[r.row]++
+		if base.Cycles == 0 {
+			return nil
 		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		for ri := range rows {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			r, err := RunOne(wl, core.Hybrid, model, rows[ri].Ablate, opt.WarmupInstrs, opt.MaxInstrs)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			sums[ri] += float64(r.Cycles) / float64(base.Cycles)
+			counts[ri]++
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for i := range rows {
 		if counts[i] > 0 {

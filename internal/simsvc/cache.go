@@ -1,0 +1,136 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// cacheFileVersion versions the on-disk cache format (the JSON shape of
+// core.Result). A mismatch discards the file rather than decoding stale
+// counters into new fields.
+const cacheFileVersion = 1
+
+// Cache is a content-addressed store of completed simulation results,
+// keyed by RunSpec.CacheKey. It is safe for concurrent use and keeps
+// hit/miss counters for the service's /metrics endpoint.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string]core.Result
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]core.Result)}
+}
+
+// Get looks up a result, counting the access as a hit or a miss.
+func (c *Cache) Get(key string) (core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+// Put stores a completed result.
+func (c *Cache) Put(key string, r core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = r
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}
+
+// cacheFile is the persisted form. Entries are a sorted list (not a map)
+// so the file is byte-stable across saves of the same contents.
+type cacheFile struct {
+	Version int          `json:"version"`
+	Entries []cacheEntry `json:"entries"`
+}
+
+type cacheEntry struct {
+	Key    string      `json:"key"`
+	Result core.Result `json:"result"`
+}
+
+// Save writes the cache atomically (temp file + rename) to path.
+func (c *Cache) Save(path string) error {
+	c.mu.RLock()
+	f := cacheFile{Version: cacheFileVersion}
+	for k, r := range c.entries {
+		f.Entries = append(f.Entries, cacheEntry{Key: k, Result: r})
+	}
+	c.mu.RUnlock()
+	sort.Slice(f.Entries, func(i, j int) bool { return f.Entries[i].Key < f.Entries[j].Key })
+
+	data, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return fmt.Errorf("simsvc: encode cache: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".sdo-cache-*")
+	if err != nil {
+		return fmt.Errorf("simsvc: save cache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("simsvc: save cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("simsvc: save cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("simsvc: save cache: %w", err)
+	}
+	return nil
+}
+
+// LoadCache reads a persisted cache. A missing file yields an empty
+// cache; a version mismatch discards the contents (the counters would be
+// meaningless under a different schema).
+func LoadCache(path string) (*Cache, error) {
+	c := NewCache()
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("simsvc: load cache: %w", err)
+	}
+	var f cacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("simsvc: load cache %s: %w", path, err)
+	}
+	if f.Version != cacheFileVersion {
+		return c, nil
+	}
+	for _, e := range f.Entries {
+		c.entries[e.Key] = e.Result
+	}
+	return c, nil
+}

@@ -1,0 +1,175 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /sweeps               submit a sweep (SweepRequest JSON) -> Status
+//	GET    /sweeps               list job statuses
+//	GET    /sweeps/{id}          one job's status
+//	DELETE /sweeps/{id}          cancel a job
+//	GET    /sweeps/{id}/progress stream per-run progress lines (text/plain)
+//	GET    /sweeps/{id}/export   harness.Export JSON (blocks until done)
+//	GET    /healthz              liveness probe
+//	GET    /metrics              Prometheus-style counters
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /sweeps", s.handleList)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /sweeps/{id}", s.handleCancel)
+	mux.HandleFunc("GET /sweeps/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /sweeps/{id}/export", s.handleExport)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	j, err := s.Submit(req)
+	if err == ErrClosed {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// job resolves {id} or writes a 404.
+func (s *Service) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown sweep", http.StatusNotFound)
+	}
+	return j, ok
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		j.Cancel()
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+// handleProgress streams progress lines as they are produced, one per
+// completed run, until the job finishes or the client goes away.
+func (s *Service) handleProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	fl, _ := w.(http.Flusher)
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	i := 0
+	flush := func() {
+		var lines []string
+		lines, i = j.ProgressSince(i)
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+		if len(lines) > 0 && fl != nil {
+			fl.Flush()
+		}
+	}
+	for {
+		flush()
+		select {
+		case <-j.Done():
+			flush()
+			st := j.Status()
+			fmt.Fprintf(w, "# sweep %s: %s (%d/%d runs, %d cached)\n",
+				st.ID, st.State, st.Completed, st.Total, st.Cached)
+			return
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// handleExport waits for the job and writes the harness.Export JSON —
+// the exact document cmd/experiments -export produces for the same
+// options.
+func (s *Service) handleExport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		return
+	}
+	res, err := j.Results()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	res.WriteJSON(w)
+}
+
+// handleMetrics writes the counters in the Prometheus text exposition
+// format (no client library: stdlib only).
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	write := func(name, typ, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+	write("sdo_cache_hits_total", "counter", "Result-cache hits.", m.CacheHits)
+	write("sdo_cache_misses_total", "counter", "Result-cache misses.", m.CacheMisses)
+	write("sdo_cache_entries", "gauge", "Results currently cached.", m.CacheEntries)
+	write("sdo_queue_depth", "gauge", "Cells waiting for a worker.", m.QueueDepth)
+	write("sdo_inflight_runs", "gauge", "Cells currently executing.", m.InFlight)
+	write("sdo_runs_executed_total", "counter", "Simulations actually run.", m.RunsExecuted)
+	write("sdo_runs_deduped_total", "counter", "Cells coalesced onto an identical in-flight run.", m.RunsDeduped)
+	write("sdo_runs_skipped_total", "counter", "Cells abandoned by cancellation or shutdown.", m.RunsSkipped)
+	write("sdo_run_seconds_total", "counter", "Cumulative wall time of executed simulations.",
+		fmt.Sprintf("%.6f", m.RunSeconds))
+	write("sdo_jobs_total", "counter", "Sweep jobs submitted.", m.JobsTotal)
+}

@@ -1,0 +1,166 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// JobState is a sweep job's lifecycle state.
+type JobState string
+
+const (
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// ErrCancelled marks cells abandoned because their job (or the service)
+// was cancelled.
+var ErrCancelled = errors.New("simsvc: job cancelled")
+
+// Job is one submitted sweep: its resolved options, per-cell results as
+// they arrive, and progress lines for streaming.
+type Job struct {
+	ID string
+
+	opt    harness.Options
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     JobState
+	total     int
+	completed int
+	cached    int
+	progress  []string
+	runs      map[harness.Key]core.Result
+	err       error
+	done      chan struct{}
+}
+
+// Options returns the job's resolved sweep options.
+func (j *Job) Options() harness.Options { return j.opt }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel abandons the job: cells not yet started are skipped; a cell
+// already simulating still completes (and populates the cache) but is no
+// longer recorded against this job.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	if j.state == JobRunning {
+		j.state = JobCancelled
+		j.err = ErrCancelled
+		close(j.done)
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// terminal reports whether the job has finished (under j.mu).
+func (j *Job) terminal() bool { return j.state != JobRunning }
+
+// deliver records one completed cell.
+func (j *Job) deliver(k harness.Key, r core.Result, line string, fromCache bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal() {
+		return
+	}
+	j.runs[k] = r
+	j.completed++
+	if fromCache {
+		j.cached++
+	}
+	j.progress = append(j.progress, line)
+	if j.completed == j.total {
+		j.state = JobDone
+		close(j.done)
+	}
+}
+
+// fail moves the job to failed (or cancelled, for cancellation errors).
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal() {
+		return
+	}
+	j.err = err
+	if errors.Is(err, context.Canceled) || errors.Is(err, ErrCancelled) {
+		j.state = JobCancelled
+	} else {
+		j.state = JobFailed
+	}
+	close(j.done)
+	j.cancel()
+}
+
+// skip abandons one cell because the job or service is shutting down.
+func (j *Job) skip() { j.fail(ErrCancelled) }
+
+// Status is a snapshot of the job's progress.
+type Status struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Total     int      `json:"total_runs"`
+	Completed int      `json:"completed_runs"`
+	Cached    int      `json:"cached_runs"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.ID,
+		State:     j.state,
+		Total:     j.total,
+		Completed: j.completed,
+		Cached:    j.cached,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// ProgressSince returns progress lines from index i on, plus the new
+// high-water mark.
+func (j *Job) ProgressSince(i int) ([]string, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(j.progress) {
+		return nil, i
+	}
+	out := append([]string(nil), j.progress[i:]...)
+	return out, len(j.progress)
+}
+
+// Results assembles the completed sweep in the harness's form, so the
+// service's export is produced by exactly the code path the CLI uses.
+func (j *Job) Results() (*harness.Results, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone {
+		if j.err != nil {
+			return nil, j.err
+		}
+		return nil, errors.New("simsvc: job still running")
+	}
+	runs := make(map[harness.Key]core.Result, len(j.runs))
+	for k, r := range j.runs {
+		runs[k] = r
+	}
+	return &harness.Results{Opt: j.opt, Runs: runs}, nil
+}

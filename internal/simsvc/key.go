@@ -1,0 +1,103 @@
+// Package simsvc is a long-running simulation service over the experiment
+// harness: it accepts sweep jobs (any subset of workloads × Table II
+// variants × attack models × instruction budgets), schedules the
+// individual runs on a bounded worker pool with context-based
+// cancellation, deduplicates identical in-flight runs, and stores
+// completed results in a content-addressed cache.
+//
+// Caching simulation results is sound because the simulator is fully
+// deterministic (DESIGN.md "Determinism"): the same (workload, variant,
+// model, warmup, budget, ablation) cell always produces bit-identical
+// statistics, so a cached result is indistinguishable from a re-run.
+package simsvc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// keySchema versions the cache-key derivation. Bump it whenever anything
+// that feeds a simulation but is not captured below changes semantics —
+// in particular the workload kernels' *initial memory images* (their
+// seeded PRNG fills live in init functions the key cannot observe; the
+// program text itself is fingerprinted) or the simulated
+// microarchitecture (pipeline/mem defaults).
+const keySchema = "sdo-cache-v1"
+
+// RunSpec identifies one simulation cell, in the exact terms the cache
+// key is derived from.
+type RunSpec struct {
+	Workload     string
+	Variant      core.Variant
+	Model        pipeline.AttackModel
+	WarmupInstrs uint64
+	MaxInstrs    uint64
+	Ablate       core.Ablation
+}
+
+// Key converts the spec to the harness's run key.
+func (s RunSpec) Key() harness.Key {
+	return harness.Key{Workload: s.Workload, Variant: s.Variant, Model: s.Model}
+}
+
+// fingerprints memoizes per-workload program fingerprints: Build is
+// deterministic per name, so the fingerprint is a function of the name.
+var fingerprints sync.Map // string -> string
+
+// programFingerprint hashes a workload's generated program text: every
+// instruction's opcode, registers, immediate and branch target. It makes
+// the cache key content-addressed with respect to the kernel's code, so
+// editing a kernel invalidates its cached results without a schema bump.
+func programFingerprint(name string) (string, error) {
+	if fp, ok := fingerprints.Load(name); ok {
+		return fp.(string), nil
+	}
+	wl, err := workload.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	prog, _ := wl.Build()
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, in := range prog.Instrs {
+		writeInt(int64(in.Op))
+		writeInt(int64(in.Rd))
+		writeInt(int64(in.Rs))
+		writeInt(int64(in.Rt))
+		writeInt(in.Imm)
+		writeInt(int64(in.Target))
+	}
+	fp := hex.EncodeToString(h.Sum(nil)[:16])
+	fingerprints.Store(name, fp)
+	return fp, nil
+}
+
+// CacheKey derives the content-addressed cache key: a SHA-256 over the
+// canonical encoding of everything that determines a run's result —
+// workload identity (name + program fingerprint), Table II variant,
+// attack model, warmup and measurement budgets, and the ablation flags.
+func (s RunSpec) CacheKey() (string, error) {
+	fp, err := programFingerprint(s.Workload)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|wl=%s|prog=%s|variant=%d|model=%d|warmup=%d|max=%d|ablate=%t,%t,%t,%t",
+		keySchema, s.Workload, fp, int(s.Variant), int(s.Model),
+		s.WarmupInstrs, s.MaxInstrs,
+		s.Ablate.DisableEarlyForward, s.Ablate.AlwaysValidate,
+		s.Ablate.NoImplicitChannelProtection, s.Ablate.OblDRAMVariant)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,361 @@
+package simsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// Config configures a Service.
+type Config struct {
+	// Workers bounds concurrent simulations (0: GOMAXPROCS).
+	Workers int
+	// CachePath persists the result cache across restarts ("" disables
+	// persistence; the in-memory cache still works).
+	CachePath string
+}
+
+// ErrClosed is returned by Submit after Shutdown has begun.
+var ErrClosed = errors.New("simsvc: service is shut down")
+
+// Service schedules sweep jobs over the shared harness worker pool,
+// deduplicates identical in-flight runs, and answers repeated cells from
+// the content-addressed result cache.
+type Service struct {
+	cfg    Config
+	cache  *Cache
+	pool   *harness.Pool
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int
+	jobs     map[string]*Job
+	order    []string
+	inflight map[string]*flight
+
+	// Metrics (see /metrics).
+	runsExecuted atomic.Uint64 // simulations actually run
+	runsDeduped  atomic.Uint64 // cells that joined an in-flight identical run
+	runsSkipped  atomic.Uint64 // cells abandoned by cancellation/shutdown
+	runNanos     atomic.Uint64 // cumulative wall time of executed runs
+	jobsTotal    atomic.Uint64
+}
+
+// flight is one in-progress simulation with every (job, cell) waiting on
+// it; the executing worker delivers the result to all of them.
+type flight struct {
+	waiters []delivery
+}
+
+type delivery struct {
+	job  *Job
+	key  harness.Key
+	line string
+}
+
+// New starts a service. The persisted cache at cfg.CachePath, if any, is
+// loaded so a restarted server answers repeated sweeps from cache.
+func New(cfg Config) (*Service, error) {
+	cache := NewCache()
+	if cfg.CachePath != "" {
+		var err error
+		if cache, err = LoadCache(cfg.CachePath); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = harness.Options{Parallel: true}.Workers()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:      cfg,
+		cache:    cache,
+		ctx:      ctx,
+		cancel:   cancel,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*flight),
+	}
+	s.pool = harness.NewPool(ctx, cfg.Workers)
+	return s, nil
+}
+
+// Cache exposes the service's result cache (read-mostly: tests and
+// metrics).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// SweepRequest selects a sweep. Empty lists mean "all"; a zero MaxInstrs
+// means the default budget; a nil WarmupInstrs means the default warmup
+// (a pointer so an explicit 0 — no warmup — is expressible, mirroring
+// cmd/experiments -warmup).
+type SweepRequest struct {
+	Workloads    []string `json:"workloads,omitempty"`
+	Variants     []string `json:"variants,omitempty"`
+	Models       []string `json:"models,omitempty"`
+	MaxInstrs    uint64   `json:"max_instrs,omitempty"`
+	WarmupInstrs *uint64  `json:"warmup_instrs,omitempty"`
+}
+
+// parseModel maps a request string to an attack model.
+func parseModel(name string) (pipeline.AttackModel, error) {
+	for _, m := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
+		if name == m.String() || name == "spectre" && m == pipeline.Spectre ||
+			name == "futuristic" && m == pipeline.Futuristic {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("simsvc: unknown attack model %q", name)
+}
+
+// resolve turns a request into normalized harness options (the same
+// resolution the CLI performs) plus the deduplicated cell list.
+func (s *Service) resolve(req SweepRequest) (harness.Options, []RunSpec, error) {
+	opt := harness.DefaultOptions()
+	if req.MaxInstrs != 0 {
+		opt.MaxInstrs = req.MaxInstrs
+	}
+	if req.WarmupInstrs != nil {
+		opt.WarmupInstrs = *req.WarmupInstrs
+	}
+	if len(req.Workloads) > 0 {
+		var wls []workload.Workload
+		for _, name := range req.Workloads {
+			w, err := workload.ByName(name)
+			if err != nil {
+				return opt, nil, err
+			}
+			wls = append(wls, w)
+		}
+		opt.Workloads = wls
+	}
+	if len(req.Variants) > 0 {
+		var vs []core.Variant
+		for _, name := range req.Variants {
+			v, err := core.ParseVariant(name)
+			if err != nil {
+				return opt, nil, err
+			}
+			vs = append(vs, v)
+		}
+		opt.Variants = vs
+	}
+	if len(req.Models) > 0 {
+		var ms []pipeline.AttackModel
+		for _, name := range req.Models {
+			m, err := parseModel(name)
+			if err != nil {
+				return opt, nil, err
+			}
+			ms = append(ms, m)
+		}
+		opt.Models = ms
+	}
+	opt = opt.Normalized()
+	seen := make(map[harness.Key]bool)
+	var cells []RunSpec
+	for _, k := range opt.Cells() {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		cells = append(cells, RunSpec{
+			Workload:     k.Workload,
+			Variant:      k.Variant,
+			Model:        k.Model,
+			WarmupInstrs: opt.WarmupInstrs,
+			MaxInstrs:    opt.MaxInstrs,
+		})
+	}
+	return opt, cells, nil
+}
+
+// Submit validates, registers and enqueues a sweep job.
+func (s *Service) Submit(req SweepRequest) (*Job, error) {
+	opt, cells, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return nil, errors.New("simsvc: empty sweep")
+	}
+	jctx, jcancel := context.WithCancel(s.ctx)
+	j := &Job{
+		opt:    opt,
+		ctx:    jctx,
+		cancel: jcancel,
+		state:  JobRunning,
+		total:  len(cells),
+		runs:   make(map[harness.Key]core.Result, len(cells)),
+		done:   make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		jcancel()
+		return nil, ErrClosed
+	}
+	s.nextID++
+	j.ID = fmt.Sprintf("sweep-%d", s.nextID)
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.mu.Unlock()
+	s.jobsTotal.Add(1)
+
+	for _, c := range cells {
+		c := c
+		s.pool.Submit(func(ctx context.Context) { s.runCell(ctx, j, c) })
+	}
+	return j, nil
+}
+
+// Job returns a submitted job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists all jobs in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// runCell executes (or resolves from cache / an identical in-flight run)
+// one cell on a pool worker.
+func (s *Service) runCell(ctx context.Context, j *Job, spec RunSpec) {
+	if ctx.Err() != nil || j.ctx.Err() != nil {
+		s.runsSkipped.Add(1)
+		j.skip()
+		return
+	}
+	key, err := spec.CacheKey()
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	line := func(r core.Result, note string) string {
+		return harness.FormatProgress(spec.Key(), r) + note
+	}
+	if r, ok := s.cache.Get(key); ok {
+		j.deliver(spec.Key(), r, line(r, "  [cached]"), true)
+		return
+	}
+	s.mu.Lock()
+	if f, ok := s.inflight[key]; ok {
+		f.waiters = append(f.waiters, delivery{job: j, key: spec.Key()})
+		s.mu.Unlock()
+		s.runsDeduped.Add(1)
+		return
+	}
+	f := &flight{waiters: []delivery{{job: j, key: spec.Key()}}}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	wl, err := workload.ByName(spec.Workload)
+	var r core.Result
+	if err == nil {
+		start := time.Now()
+		r, err = harness.RunOne(wl, spec.Variant, spec.Model, spec.Ablate, spec.WarmupInstrs, spec.MaxInstrs)
+		s.runNanos.Add(uint64(time.Since(start)))
+		s.runsExecuted.Add(1)
+	}
+	if err == nil {
+		s.cache.Put(key, r)
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	waiters := f.waiters
+	s.mu.Unlock()
+	for _, w := range waiters {
+		if err != nil {
+			w.job.fail(fmt.Errorf("simsvc: %s/%v/%v: %w", spec.Workload, spec.Variant, spec.Model, err))
+		} else {
+			w.job.deliver(w.key, r, line(r, ""), false)
+		}
+	}
+}
+
+// Shutdown stops intake, cancels queued-but-unstarted cells, lets
+// in-flight simulations finish, then persists the cache. Simulations are
+// not interruptible, so the pool is always waited for (nothing leaks);
+// if ctx expires during that wait the cache is still persisted and
+// ctx.Err() is reported.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.cancel() // queued cells skip; running cells finish
+	s.pool.Close()
+	done := make(chan struct{})
+	go func() {
+		s.pool.Wait()
+		close(done)
+	}()
+	var waitErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		waitErr = ctx.Err()
+		<-done
+	}
+	if s.cfg.CachePath != "" {
+		if err := s.cache.Save(s.cfg.CachePath); err != nil {
+			return err
+		}
+	}
+	return waitErr
+}
+
+// Metrics is a point-in-time snapshot of the service counters.
+type Metrics struct {
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheEntries int
+	QueueDepth   int
+	InFlight     int
+	RunsExecuted uint64
+	RunsDeduped  uint64
+	RunsSkipped  uint64
+	RunSeconds   float64
+	JobsTotal    uint64
+}
+
+// Snapshot gathers the current metrics.
+func (s *Service) Snapshot() Metrics {
+	hits, misses := s.cache.Stats()
+	return Metrics{
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheEntries: s.cache.Len(),
+		QueueDepth:   s.pool.QueueDepth(),
+		InFlight:     s.pool.Active(),
+		RunsExecuted: s.runsExecuted.Load(),
+		RunsDeduped:  s.runsDeduped.Load(),
+		RunsSkipped:  s.runsSkipped.Load(),
+		RunSeconds:   float64(s.runNanos.Load()) / 1e9,
+		JobsTotal:    s.jobsTotal.Load(),
+	}
+}
