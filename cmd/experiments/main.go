@@ -35,6 +35,7 @@ func main() {
 		export  = flag.String("export", "", "also write the sweep's JSON export to this file")
 		instrs  = flag.Uint64("instrs", 60_000, "measured instructions per run")
 		warmup  = flag.Uint64("warmup", 50_000, "warmup instructions per run")
+		ivl     = flag.Uint64("interval", 0, "sample interval statistics every N cycles (included in -export/-json output)")
 		wls     = flag.String("workloads", "", "comma-separated subset (default: all)")
 		serial  = flag.Bool("serial", false, "disable parallel simulation")
 		verbose = flag.Bool("v", false, "print per-run progress")
@@ -58,6 +59,7 @@ func main() {
 	opt := harness.DefaultOptions()
 	opt.MaxInstrs = *instrs
 	opt.WarmupInstrs = *warmup
+	opt.IntervalCycles = *ivl
 	opt.Parallel = !*serial
 	if *wls != "" {
 		var list []workload.Workload

@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,14 +37,16 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8344", "listen address")
-		cache   = flag.String("cache", "sdo-cache.json", "result-cache file (empty: in-memory only)")
-		workers = flag.Int("workers", 0, "concurrent simulations (0: all CPUs)")
-		drain   = flag.Duration("drain", 2*time.Minute, "shutdown grace period for in-flight runs")
+		addr     = flag.String("addr", ":8344", "listen address")
+		cache    = flag.String("cache", "sdo-cache.json", "result-cache file (empty: in-memory only)")
+		cacheMax = flag.Int("cache-max", 0, "result-cache LRU bound in entries (0: unbounded)")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0: all CPUs)")
+		drain    = flag.Duration("drain", 2*time.Minute, "shutdown grace period for in-flight runs")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
-	svc, err := simsvc.New(simsvc.Config{Workers: *workers, CachePath: *cache})
+	svc, err := simsvc.New(simsvc.Config{Workers: *workers, CachePath: *cache, CacheMaxEntries: *cacheMax})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdoserver:", err)
 		os.Exit(1)
@@ -52,7 +55,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sdoserver: loaded %d cached results from %s\n", n, *cache)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "sdoserver: pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

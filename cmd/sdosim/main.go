@@ -5,31 +5,47 @@
 // Usage:
 //
 //	sdosim -workload mcf_r -variant hybrid -model futuristic -instrs 60000
+//	sdosim -workload mcf_r -variant hybrid -trace trace.json -trace-format chrome
+//	sdosim -workload mcf_r -trace - -trace-events sdo,squash
+//	sdosim -workload mcf_r -interval 1000 -interval-out intervals.json
 //	sdosim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		wlName  = flag.String("workload", "mcf_r", "workload name (see -list)")
-		variant = flag.String("variant", "unsafe", "design variant (Table II): unsafe, stt, stt{ld+fp}, l1, l2, l3, hybrid, perfect")
-		model   = flag.String("model", "spectre", "attack model: spectre or futuristic")
-		instrs  = flag.Uint64("instrs", 60_000, "committed instructions to measure")
-		warmup  = flag.Uint64("warmup", 50_000, "committed instructions of cache warmup")
-		list    = flag.Bool("list", false, "list workloads and variants, then exit")
-		trace   = flag.String("trace", "", "write a cycle-by-cycle event trace to this file ('-' for stderr)")
+		wlName      = flag.String("workload", "mcf_r", "workload name (see -list)")
+		variant     = flag.String("variant", "unsafe", "design variant (Table II): unsafe, stt, stt{ld+fp}, l1, l2, l3, hybrid, perfect")
+		model       = flag.String("model", "spectre", "attack model: spectre or futuristic")
+		instrs      = flag.Uint64("instrs", 60_000, "committed instructions to measure")
+		warmup      = flag.Uint64("warmup", 50_000, "committed instructions of cache warmup")
+		list        = flag.Bool("list", false, "list workloads and variants, then exit")
+		trace       = flag.String("trace", "", "write a cycle-by-cycle event trace to this file ('-' for stderr)")
+		traceFormat = flag.String("trace-format", "text",
+			"trace sink: text (legacy line format), jsonl (one event per line), chrome (trace-event JSON, loadable in Perfetto / chrome://tracing)")
+		traceEvents = flag.String("trace-events", "all",
+			"comma-separated event classes to record: "+strings.Join(obs.ClassNames(), ",")+" (or 'all')")
+		postmortem = flag.Int("postmortem", 0,
+			"keep the last N events in a ring buffer and dump them to stderr if the run fails (works without -trace)")
+		interval = flag.Uint64("interval", 0,
+			"sample interval statistics every N cycles of the measurement window")
+		intervalOut = flag.String("interval-out", "",
+			"write the interval time series as JSON to this file ('-' for stdout; default with -interval: stdout)")
 	)
 	flag.Parse()
 
@@ -61,9 +77,16 @@ func main() {
 	prog, init := wl.Build()
 	machine := core.NewMachine(core.Config{
 		Variant: v, Model: m, WarmupInstrs: *warmup, MaxInstrs: *instrs,
+		IntervalCycles: *interval,
 	}, prog, init)
+
+	mask, err := obs.ParseClasses(*traceEvents)
+	if err != nil {
+		fatal(err)
+	}
+	var sinks []obs.Sink
 	if *trace != "" {
-		w := os.Stderr
+		var w io.Writer = os.Stderr
 		if *trace != "-" {
 			f, err := os.Create(*trace)
 			if err != nil {
@@ -72,10 +95,41 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		machine.Core().SetTracer(w)
+		switch *traceFormat {
+		case "text":
+			sinks = append(sinks, obs.NewTextSink(w))
+		case "jsonl":
+			sinks = append(sinks, obs.NewJSONLSink(w))
+		case "chrome":
+			sinks = append(sinks, obs.NewChromeSink(w))
+		default:
+			fatal(fmt.Errorf("unknown -trace-format %q (want text, jsonl or chrome)", *traceFormat))
+		}
 	}
+	var ring *obs.RingSink
+	if *postmortem > 0 {
+		ring = obs.NewRingSink(*postmortem)
+		sinks = append(sinks, ring)
+	}
+	var rec *obs.Recorder
+	if len(sinks) > 0 {
+		rec = obs.NewRecorder(mask, sinks...)
+		machine.SetObserver(rec)
+	}
+
 	res, err := machine.Run()
+	// Close the recorder before any deferred file close: the Chrome sink
+	// writes its JSON trailer here, and buffered sinks flush.
+	if cerr := rec.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
+		if ring != nil {
+			if evs := ring.Events(); len(evs) > 0 {
+				fmt.Fprintf(os.Stderr, "sdosim: last %d events before failure:\n", len(evs))
+				ring.WriteText(os.Stderr)
+			}
+		}
 		fatal(err)
 	}
 
@@ -110,6 +164,30 @@ func main() {
 	row("L2 hits/misses", fmt.Sprintf("%d / %d", res.L2Hits, res.L2Misses))
 	row("DRAM row hits/misses", fmt.Sprintf("%d / %d", res.DRAMRowHits, res.DRAMRowMisses))
 	tw.Flush()
+
+	if *interval > 0 {
+		var w io.Writer = os.Stdout
+		if *intervalOut != "" && *intervalOut != "-" {
+			f, err := os.Create(*intervalOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		} else {
+			fmt.Printf("\ninterval series (every %d cycles, %d samples):\n", *interval, len(res.Intervals))
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			IntervalCycles uint64               `json:"interval_cycles"`
+			Intervals      []core.IntervalPoint `json:"intervals"`
+			ROBOccHist     []uint64             `json:"rob_occ_hist"`
+			LQOccHist      []uint64             `json:"lq_occ_hist"`
+		}{*interval, res.Intervals, res.ROBOccHist, res.LQOccHist}); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sdo"
 )
@@ -154,6 +155,10 @@ type Config struct {
 	MaxInstrs uint64
 	// MaxCycles bounds simulated cycles (0: run to halt).
 	MaxCycles uint64
+	// IntervalCycles, when non-zero, samples an interval statistics point
+	// every IntervalCycles cycles of the measurement window (warmup is
+	// excluded) into Result.Intervals.
+	IntervalCycles uint64
 	// Mem overrides the Table I memory parameters when non-nil.
 	Mem *mem.Config
 	// Pipe overrides the Table I core parameters when non-nil (its
@@ -251,6 +256,14 @@ func (m *Machine) Regs() [isa.NumRegs]uint64 { return m.core.Regs() }
 // Core exposes the underlying pipeline (stats, stepping, tracing).
 func (m *Machine) Core() *pipeline.Core { return m.core }
 
+// SetObserver attaches one event recorder to both the pipeline and the
+// memory hierarchy, so a single set of sinks sees the whole machine.
+// Pass nil to detach.
+func (m *Machine) SetObserver(r *obs.Recorder) {
+	m.core.SetObserver(r)
+	m.hier.SetObserver(r)
+}
+
 // Result is one run's outcome.
 type Result struct {
 	Variant Variant
@@ -263,6 +276,15 @@ type Result struct {
 	TLBMisses          uint64
 	DRAMRowHits        uint64
 	DRAMRowMisses      uint64
+
+	// Interval time series (nil unless Config.IntervalCycles > 0).
+	IntervalCycles uint64          `json:",omitempty"`
+	Intervals      []IntervalPoint `json:",omitempty"`
+	// Measurement-window ROB / load-queue occupancy histograms
+	// (pipeline.OccupancyBuckets equal-width buckets over each
+	// structure's capacity; nil unless interval sampling ran).
+	ROBOccHist []uint64 `json:",omitempty"`
+	LQOccHist  []uint64 `json:",omitempty"`
 }
 
 // Run simulates to halt (or the configured bounds) and gathers results.
@@ -278,11 +300,26 @@ func (m *Machine) Run() (Result, error) {
 		}
 		base = m.core.Stats()
 	}
+	var ic *intervalCollector
+	if m.cfg.IntervalCycles > 0 {
+		// Enabled after warmup so the series covers exactly the
+		// measurement window.
+		ic = newIntervalCollector(m.hier)
+		m.core.EnableIntervalSampling(m.cfg.IntervalCycles, ic.collect)
+	}
 	st, err := m.core.Run()
 	r := Result{
 		Variant: m.cfg.Variant,
 		Model:   m.cfg.Model,
 		Stats:   st.Sub(base),
+	}
+	if ic != nil {
+		m.core.FlushInterval() // trailing partial interval
+		r.IntervalCycles = m.cfg.IntervalCycles
+		r.Intervals = ic.points
+		rob, lq := m.core.OccupancyHistograms()
+		r.ROBOccHist = append([]uint64(nil), rob[:]...)
+		r.LQOccHist = append([]uint64(nil), lq[:]...)
 	}
 	r.L1DHits, r.L1DMisses = m.hier.L1D().Hits, m.hier.L1D().Misses
 	r.L2Hits, r.L2Misses = m.hier.L2().Hits, m.hier.L2().Misses

@@ -1,0 +1,116 @@
+// Interval time-series: with Config.IntervalCycles > 0 the machine
+// snapshots the pipeline and memory-system counters every K cycles of the
+// measurement window (warmup excluded) and derives the per-interval rates
+// the paper's figures are built from. The interval deltas partition the
+// window exactly — summing the raw counters across points reproduces the
+// run-level Result (tested in interval_test.go).
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+)
+
+// IntervalPoint is one interval of a run's time series. Counter fields
+// are per-interval deltas; rate fields are derived from them.
+type IntervalPoint struct {
+	// Cycle is the measurement-window cycle at the end of the interval
+	// (monotonically increasing across points).
+	Cycle uint64 `json:"cycle"`
+	// Cycles is the interval length (== IntervalCycles except for the
+	// trailing partial interval).
+	Cycles    uint64  `json:"cycles"`
+	Committed uint64  `json:"committed"`
+	IPC       float64 `json:"ipc"`
+
+	// Squash activity.
+	Squashes       uint64  `json:"squashes"`
+	SquashedInstrs uint64  `json:"squashed_instrs"`
+	SquashPKI      float64 `json:"squash_pki"` // squashes per kilo-instruction
+
+	// Protection-induced stalls.
+	TaintStallCycles      uint64 `json:"taint_stall_cycles"` // load + FP transmitter delay
+	ValidationStallCycles uint64 `json:"validation_stall_cycles"`
+
+	// SDO Obl-Ld activity.
+	OblIssued  uint64 `json:"obl_issued"`
+	OblSuccess uint64 `json:"obl_success"`
+	OblFail    uint64 `json:"obl_fail"`
+
+	// Cache misses per kilo-instruction, from the per-interval miss deltas.
+	L1DMisses uint64  `json:"l1d_misses"`
+	L2Misses  uint64  `json:"l2_misses"`
+	LLCMisses uint64  `json:"llc_misses"`
+	L1DMPKI   float64 `json:"l1d_mpki"`
+	L2MPKI    float64 `json:"l2_mpki"`
+	LLCMPKI   float64 `json:"llc_mpki"`
+
+	// Mean ROB / load-queue occupancy over the interval.
+	AvgROBOcc float64 `json:"avg_rob_occ"`
+	AvgLQOcc  float64 `json:"avg_lq_occ"`
+}
+
+// perKilo returns n per 1000 committed instructions.
+func perKilo(n, committed uint64) float64 {
+	if committed == 0 {
+		return 0
+	}
+	return float64(n) * 1000 / float64(committed)
+}
+
+// intervalCollector turns pipeline.IntervalSample deltas plus
+// memory-hierarchy counter deltas into IntervalPoints.
+type intervalCollector struct {
+	hier *mem.Hierarchy
+	// Previous-boundary memory counters (cumulative).
+	l1dMisses, l2Misses, llcMisses uint64
+	points                         []IntervalPoint
+}
+
+func newIntervalCollector(h *mem.Hierarchy) *intervalCollector {
+	ic := &intervalCollector{hier: h}
+	ic.l1dMisses, ic.l2Misses, ic.llcMisses = ic.memMisses()
+	return ic
+}
+
+func (ic *intervalCollector) memMisses() (l1d, l2, llc uint64) {
+	_, llc = ic.hier.Shared().LLCStats()
+	return ic.hier.L1D().Misses, ic.hier.L2().Misses, llc
+}
+
+// collect is the pipeline's interval callback: it runs synchronously at
+// each interval boundary, so the memory counters it reads are exactly the
+// boundary values.
+func (ic *intervalCollector) collect(s pipeline.IntervalSample) {
+	l1d, l2, llc := ic.memMisses()
+	d := s.Delta
+	p := IntervalPoint{
+		Cycle:     s.Cycle,
+		Cycles:    d.Cycles,
+		Committed: d.Committed,
+		IPC:       d.IPC(),
+
+		Squashes:       d.TotalSquashes(),
+		SquashedInstrs: d.SquashedInstrs,
+		SquashPKI:      perKilo(d.TotalSquashes(), d.Committed),
+
+		TaintStallCycles:      d.LoadDelayCycles + d.FPDelayCycles,
+		ValidationStallCycles: d.ValidationStall,
+
+		OblIssued:  d.OblIssued,
+		OblSuccess: d.OblSuccess,
+		OblFail:    d.OblFail,
+
+		L1DMisses: l1d - ic.l1dMisses,
+		L2Misses:  l2 - ic.l2Misses,
+		LLCMisses: llc - ic.llcMisses,
+
+		AvgROBOcc: s.AvgROBOcc,
+		AvgLQOcc:  s.AvgLQOcc,
+	}
+	p.L1DMPKI = perKilo(p.L1DMisses, d.Committed)
+	p.L2MPKI = perKilo(p.L2Misses, d.Committed)
+	p.LLCMPKI = perKilo(p.LLCMisses, d.Committed)
+	ic.l1dMisses, ic.l2Misses, ic.llcMisses = l1d, l2, llc
+	ic.points = append(ic.points, p)
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// TestIntervalSeriesPartition: the interval time series must partition the
+// measurement window exactly — cycle stamps strictly increase, and summing
+// the per-interval counters reproduces the run-level Result. This is the
+// invariant that lets figures built from the series agree with the tables
+// built from the totals.
+func TestIntervalSeriesPartition(t *testing.T) {
+	prog, init := testProgram()
+	m := NewMachine(Config{
+		Variant: Hybrid, Model: pipeline.Futuristic,
+		WarmupInstrs: 100, IntervalCycles: 64,
+	}, prog, init)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntervalCycles != 64 {
+		t.Fatalf("Result.IntervalCycles = %d, want 64", res.IntervalCycles)
+	}
+	if len(res.Intervals) < 2 {
+		t.Fatalf("only %d interval samples for a %d-cycle window", len(res.Intervals), res.Cycles)
+	}
+
+	var cycles, committed, squashes, oblIssued, oblSuccess, oblFail, l1dMisses uint64
+	prev := uint64(0)
+	for i, p := range res.Intervals {
+		if p.Cycle <= prev {
+			t.Fatalf("interval %d: cycle stamp %d not after %d", i, p.Cycle, prev)
+		}
+		prev = p.Cycle
+		if p.Cycles == 0 {
+			t.Fatalf("interval %d: zero-length interval emitted", i)
+		}
+		if i < len(res.Intervals)-1 && p.Cycles != 64 {
+			t.Fatalf("interval %d: length %d, want 64 (only the trailing interval may be partial)", i, p.Cycles)
+		}
+		if want := float64(p.Committed) / float64(p.Cycles); p.IPC != want {
+			t.Fatalf("interval %d: IPC %g inconsistent with committed/cycles %g", i, p.IPC, want)
+		}
+		cycles += p.Cycles
+		committed += p.Committed
+		squashes += p.Squashes
+		oblIssued += p.OblIssued
+		oblSuccess += p.OblSuccess
+		oblFail += p.OblFail
+		l1dMisses += p.L1DMisses
+	}
+	if cycles != res.Cycles {
+		t.Errorf("sum of interval cycles = %d, want measured window %d", cycles, res.Cycles)
+	}
+	if committed != res.Committed {
+		t.Errorf("sum of interval committed = %d, want %d", committed, res.Committed)
+	}
+	if squashes != res.TotalSquashes() {
+		t.Errorf("sum of interval squashes = %d, want %d", squashes, res.TotalSquashes())
+	}
+	if oblIssued != res.OblIssued || oblSuccess != res.OblSuccess || oblFail != res.OblFail {
+		t.Errorf("interval Obl sums = %d/%d/%d, want %d/%d/%d",
+			oblIssued, oblSuccess, oblFail, res.OblIssued, res.OblSuccess, res.OblFail)
+	}
+	// Result.L1DMisses includes warmup; the series covers only the window.
+	if l1dMisses > res.L1DMisses {
+		t.Errorf("interval L1D misses %d exceed run total %d", l1dMisses, res.L1DMisses)
+	}
+
+	// Occupancy histograms: one increment per measured cycle.
+	if len(res.ROBOccHist) != pipeline.OccupancyBuckets || len(res.LQOccHist) != pipeline.OccupancyBuckets {
+		t.Fatalf("histogram lengths %d/%d, want %d", len(res.ROBOccHist), len(res.LQOccHist), pipeline.OccupancyBuckets)
+	}
+	var robN, lqN uint64
+	for i := range res.ROBOccHist {
+		robN += res.ROBOccHist[i]
+		lqN += res.LQOccHist[i]
+	}
+	if robN != res.Cycles || lqN != res.Cycles {
+		t.Errorf("histogram totals %d/%d, want one sample per measured cycle (%d)", robN, lqN, res.Cycles)
+	}
+}
+
+// TestIntervalDeltasSumToStats drives pipeline interval sampling directly
+// (no warmup, so the series starts at cycle 0) and checks — field by
+// field, via reflection — that adding up every sample's Delta reproduces
+// the final cumulative Stats. Together with the Stats.Sub reflection test
+// this pins the partition invariant for every present and future counter.
+func TestIntervalDeltasSumToStats(t *testing.T) {
+	prog, init := testProgram()
+	m := NewMachine(Config{Variant: Hybrid, Model: pipeline.Spectre}, prog, init)
+	c := m.Core()
+
+	var sum pipeline.Stats
+	n := 0
+	c.EnableIntervalSampling(32, func(s pipeline.IntervalSample) {
+		n++
+		sv := reflect.ValueOf(&sum).Elem()
+		dv := reflect.ValueOf(s.Delta)
+		for i := 0; i < sv.NumField(); i++ {
+			switch sv.Field(i).Kind() {
+			case reflect.Uint64:
+				sv.Field(i).SetUint(sv.Field(i).Uint() + dv.Field(i).Uint())
+			case reflect.Array:
+				for j := 0; j < sv.Field(i).Len(); j++ {
+					sv.Field(i).Index(j).SetUint(sv.Field(i).Index(j).Uint() + dv.Field(i).Index(j).Uint())
+				}
+			case reflect.Bool:
+				sv.Field(i).SetBool(dv.Field(i).Bool())
+			}
+		}
+	})
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FlushInterval()
+	if n < 2 {
+		t.Fatalf("only %d interval samples", n)
+	}
+	if !reflect.DeepEqual(sum, st) {
+		t.Errorf("interval deltas do not sum to the cumulative Stats:\n sum:   %+v\n stats: %+v", sum, st)
+	}
+}
+
+// TestIntervalDisabled: without IntervalCycles the Result carries no
+// series and no histograms (and pays no sampling cost).
+func TestIntervalDisabled(t *testing.T) {
+	prog, init := testProgram()
+	m := NewMachine(Config{Variant: Hybrid, Model: pipeline.Spectre}, prog, init)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntervalCycles != 0 || res.Intervals != nil || res.ROBOccHist != nil || res.LQOccHist != nil {
+		t.Fatalf("disabled sampling still produced series: %+v", res)
+	}
+}

@@ -12,14 +12,15 @@ import (
 // reports print, as one JSON document (for plotting scripts and regression
 // tooling).
 type Export struct {
-	MaxInstrs    uint64      `json:"max_instrs"`
-	WarmupInstrs uint64      `json:"warmup_instrs"`
-	Runs         []ExportRun `json:"runs"`
-	Figure6      []Fig6Row   `json:"figure6"`
-	Figure7      []Fig7Row   `json:"figure7"`
-	Figure8      []Fig8Row   `json:"figure8"`
-	TableIII     []T3Row     `json:"table3"`
-	Summary      []SumRow    `json:"summary"`
+	MaxInstrs      uint64      `json:"max_instrs"`
+	WarmupInstrs   uint64      `json:"warmup_instrs"`
+	IntervalCycles uint64      `json:"interval_cycles,omitempty"`
+	Runs           []ExportRun `json:"runs"`
+	Figure6        []Fig6Row   `json:"figure6"`
+	Figure7        []Fig7Row   `json:"figure7"`
+	Figure8        []Fig8Row   `json:"figure8"`
+	TableIII       []T3Row     `json:"table3"`
+	Summary        []SumRow    `json:"summary"`
 }
 
 // ExportRun is one simulation's key counters.
@@ -41,6 +42,12 @@ type ExportRun struct {
 	PredImprecise   uint64  `json:"pred_imprecise"`
 	PredInaccurate  uint64  `json:"pred_inaccurate"`
 	ValidationStall uint64  `json:"validation_stall"`
+
+	// Interval time series (present only when the sweep ran with
+	// Options.IntervalCycles > 0).
+	Intervals  []core.IntervalPoint `json:"intervals,omitempty"`
+	ROBOccHist []uint64             `json:"rob_occ_hist,omitempty"`
+	LQOccHist  []uint64             `json:"lq_occ_hist,omitempty"`
 }
 
 // Fig6Row is one Figure 6 series point (the per-variant average).
@@ -89,7 +96,7 @@ type SumRow struct {
 
 // Export builds the machine-readable summary.
 func (r *Results) Export() Export {
-	ex := Export{MaxInstrs: r.Opt.MaxInstrs, WarmupInstrs: r.Opt.WarmupInstrs}
+	ex := Export{MaxInstrs: r.Opt.MaxInstrs, WarmupInstrs: r.Opt.WarmupInstrs, IntervalCycles: r.Opt.IntervalCycles}
 	var keys []Key
 	for k := range r.Runs {
 		keys = append(keys, k)
@@ -124,6 +131,9 @@ func (r *Results) Export() Export {
 			PredImprecise:   run.PredImprecise,
 			PredInaccurate:  run.PredInaccurate,
 			ValidationStall: run.ValidationStall,
+			Intervals:       run.Intervals,
+			ROBOccHist:      run.ROBOccHist,
+			LQOccHist:       run.LQOccHist,
 		})
 	}
 	for _, m := range r.Opt.Models {

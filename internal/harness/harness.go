@@ -35,6 +35,11 @@ type Options struct {
 	Variants []core.Variant
 	// Models are the attack models to run (default: Spectre, Futuristic).
 	Models []pipeline.AttackModel
+	// IntervalCycles, when non-zero, collects an interval statistics
+	// point every IntervalCycles cycles of each run's measurement window
+	// (core.Config.IntervalCycles); the series rides along in each
+	// core.Result and in the JSON export.
+	IntervalCycles uint64
 	// Parallel runs independent simulations on all CPUs.
 	Parallel bool
 	// Progress, if non-nil, receives a line per completed run.
@@ -111,14 +116,15 @@ type Results struct {
 // RunOne executes a single simulation cell: one workload under one design
 // variant and attack model. This is the single execution path shared by
 // the CLI sweep, the ablation study and the simulation service.
-func RunOne(wl workload.Workload, v core.Variant, m pipeline.AttackModel, ab core.Ablation, warmup, maxInstrs uint64) (core.Result, error) {
+func RunOne(wl workload.Workload, v core.Variant, m pipeline.AttackModel, ab core.Ablation, warmup, maxInstrs, intervalCycles uint64) (core.Result, error) {
 	prog, init := wl.Build()
 	machine := core.NewMachine(core.Config{
-		Variant:      v,
-		Model:        m,
-		Ablate:       ab,
-		WarmupInstrs: warmup,
-		MaxInstrs:    maxInstrs,
+		Variant:        v,
+		Model:          m,
+		Ablate:         ab,
+		WarmupInstrs:   warmup,
+		MaxInstrs:      maxInstrs,
+		IntervalCycles: intervalCycles,
 	}, prog, init)
 	return machine.Run()
 }
@@ -150,7 +156,7 @@ func RunContext(ctx context.Context, opt Options) (*Results, error) {
 	var mu sync.Mutex
 	err := RunPool(ctx, opt.Workers(), len(cells), func(ctx context.Context, i int) error {
 		k := cells[i]
-		r, err := RunOne(byName[k.Workload], k.Variant, k.Model, core.Ablation{}, opt.WarmupInstrs, opt.MaxInstrs)
+		r, err := RunOne(byName[k.Workload], k.Variant, k.Model, core.Ablation{}, opt.WarmupInstrs, opt.MaxInstrs, opt.IntervalCycles)
 		if err != nil {
 			return fmt.Errorf("harness: %s/%v/%v: %w", k.Workload, k.Variant, k.Model, err)
 		}
@@ -362,7 +368,7 @@ func RunAblations(opt Options, model pipeline.AttackModel) ([]AblationRow, error
 	var mu sync.Mutex
 	err := RunPool(context.Background(), opt.Workers(), len(opt.Workloads), func(ctx context.Context, wi int) error {
 		wl := opt.Workloads[wi]
-		base, err := RunOne(wl, core.Unsafe, model, core.Ablation{}, opt.WarmupInstrs, opt.MaxInstrs)
+		base, err := RunOne(wl, core.Unsafe, model, core.Ablation{}, opt.WarmupInstrs, opt.MaxInstrs, 0)
 		if err != nil {
 			return err
 		}
@@ -373,7 +379,7 @@ func RunAblations(opt Options, model pipeline.AttackModel) ([]AblationRow, error
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			r, err := RunOne(wl, core.Hybrid, model, rows[ri].Ablate, opt.WarmupInstrs, opt.MaxInstrs)
+			r, err := RunOne(wl, core.Hybrid, model, rows[ri].Ablate, opt.WarmupInstrs, opt.MaxInstrs, 0)
 			if err != nil {
 				return err
 			}

@@ -1,5 +1,7 @@
 package mem
 
+import "repro/internal/obs"
+
 // AccessResult describes a completed normal-path access.
 type AccessResult struct {
 	Done  uint64 // cycle the data is available
@@ -47,6 +49,16 @@ func (s *Shared) Config() Config { return s.cfg }
 // DRAMStats exposes the controller for stats readers.
 func (s *Shared) DRAMStats() *DRAM { return s.dram }
 
+// LLCStats returns the aggregate hit/miss counts across the L3 slices
+// (the whole last-level cache), for MPKI-style derived statistics.
+func (s *Shared) LLCStats() (hits, misses uint64) {
+	for _, sl := range s.slices {
+		hits += sl.Hits
+		misses += sl.Misses
+	}
+	return hits, misses
+}
+
 // slice returns the L3 slice serving addr ("a hash function set at design
 // time determines the slice associated with a cache line", §VI-B1).
 func (s *Shared) slice(addr uint64) *Cache {
@@ -84,6 +96,8 @@ type Hierarchy struct {
 	l1d    *Cache
 	l2     *Cache
 	tlb    *TLB
+
+	obs *obs.Recorder // typed event recorder (nil: tracing off)
 
 	oblSeq uint64 // synthetic MSHR keys for non-merging Obl-Ld allocations
 
@@ -171,7 +185,17 @@ func (h *Hierarchy) FetchAccess(now uint64, addr uint64) AccessResult {
 
 // walk is the shared normal-path state machine: check/fill each level in
 // order, modelling bank and MSHR contention at every level crossed.
+//
+// With a recorder attached it dispatches to walkTraced (obs.go), an
+// instrumented copy of this body: keeping the emits out of this function
+// entirely — rather than behind nil checks at each exit — is what keeps
+// the untraced L1-hit path at its pre-instrumentation cost (the checks'
+// register pressure alone measured ~5% on BenchmarkNormalLoad). The
+// traced-run-equivalence test pins the two bodies to identical timing.
 func (h *Hierarchy) walk(l1 *Cache, now uint64, addr uint64, write bool) AccessResult {
+	if h.obs != nil {
+		return h.walkTraced(l1, now, addr, write)
+	}
 	la := LineAddr(addr)
 	slice := h.shared.slice(addr)
 
@@ -365,7 +389,11 @@ func (h *Hierarchy) Flush(addr uint64) {
 
 // Translate runs the normal TLB path (LRU update, walk on miss).
 func (h *Hierarchy) Translate(now uint64, addr uint64) (done uint64, hit bool) {
-	return h.tlb.Translate(now, addr)
+	done, hit = h.tlb.Translate(now, addr)
+	if !hit && h.obs != nil {
+		h.emitTLBMiss(now, addr, done)
+	}
+	return done, hit
 }
 
 // TLBProbe is the DO translation path: L1-TLB tag check only (§V-B).

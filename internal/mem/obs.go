@@ -1,0 +1,171 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// SetObserver attaches an event recorder to this core's view of the
+// memory system. Cache hit/miss outcomes, MSHR merges, DRAM row-buffer
+// hits/conflicts, and TLB misses emit typed events through it, filtered
+// by the recorder's class mask. Pass nil to detach; with no recorder
+// every emission site reduces to a nil check.
+//
+// core.Machine wires the same recorder here and into the pipeline
+// (pipeline.Core.SetObserver) so a single sink sees both sides.
+func (h *Hierarchy) SetObserver(r *obs.Recorder) { h.obs = r }
+
+// Observer returns the attached recorder (nil when tracing is off).
+func (h *Hierarchy) Observer() *obs.Recorder { return h.obs }
+
+// walkTraced is the instrumented copy of Hierarchy.walk (hierarchy.go),
+// entered only when a recorder is attached. It must mutate exactly the
+// same state and return exactly the same result as walk for every input —
+// observation may not perturb the simulation. That equivalence is pinned
+// by TestTracedWalkEquivalence, which diffs whole traced and untraced
+// runs counter-for-counter; keep the two bodies in sync when editing
+// either.
+func (h *Hierarchy) walkTraced(l1 *Cache, now uint64, addr uint64, write bool) AccessResult {
+	la := LineAddr(addr)
+	slice := h.shared.slice(addr)
+
+	var level Level
+	switch {
+	case l1.Lookup(addr):
+		level = L1
+	case h.l2.Lookup(addr):
+		level = L2
+	case slice.Lookup(addr):
+		level = L3
+	default:
+		level = LevelMem
+	}
+
+	ifetch := l1 == h.l1i
+	t := l1.ReserveBank(now, addr) + h.inc(L1)
+	if level == L1 {
+		l1.Touch(addr, write)
+		r := AccessResult{Done: t, Level: L1}
+		h.emitAccess(now, addr, write, ifetch, r)
+		return r
+	}
+	l1.Touch(addr, write) // records the miss
+	start, mdone, merged := l1.AcquireMSHR(t, la, true)
+	if merged {
+		done := mdone
+		if done < t {
+			done = t
+		}
+		h.emitMSHRMerge(now, addr, L1, done)
+		r := AccessResult{Done: done, Level: level}
+		h.emitAccess(now, addr, write, ifetch, r)
+		return r
+	}
+	t = start
+
+	t = h.l2.ReserveBank(t, addr) + h.inc(L2)
+	var done uint64
+	if level == L2 {
+		h.l2.Touch(addr, false)
+		done = t
+	} else {
+		h.l2.Touch(addr, false)
+		start, mdone, merged := h.l2.AcquireMSHR(t, la, true)
+		if merged {
+			done = mdone
+			if done < t {
+				done = t
+			}
+			h.emitMSHRMerge(now, addr, L2, done)
+			h.l2.CommitMSHR(la, done)
+			l1.CommitMSHR(la, done)
+			l1.Fill(addr, write)
+			r := AccessResult{Done: done, Level: level}
+			h.emitAccess(now, addr, write, ifetch, r)
+			return r
+		}
+		t = start
+		t = slice.ReserveBank(t, addr) + h.inc(L3)
+		if level == L3 {
+			slice.Touch(addr, false)
+			done = t
+		} else {
+			slice.Touch(addr, false)
+			start, mdone, merged := slice.AcquireMSHR(t, la, true)
+			if merged {
+				done = mdone
+				if done < t {
+					done = t
+				}
+				h.emitMSHRMerge(now, addr, L3, done)
+			} else {
+				t = start
+				rowHitsBefore := h.shared.dram.RowHits
+				done = h.shared.dram.Access(t, addr)
+				h.emitDRAM(t, addr, h.shared.dram.RowHits > rowHitsBefore, done)
+			}
+			slice.CommitMSHR(la, done)
+			slice.Fill(addr, false)
+		}
+		h.l2.CommitMSHR(la, done)
+		h.l2.Fill(addr, false)
+	}
+	l1.CommitMSHR(la, done)
+	l1.Fill(addr, write)
+	r := AccessResult{Done: done, Level: level}
+	h.emitAccess(now, addr, write, ifetch, r)
+	return r
+}
+
+// emitAccess reports a completed normal-path walk: "cache-hit" for an L1
+// hit, "cache-miss" (with the serving level) otherwise. Span-shaped so
+// trace viewers render the access latency.
+func (h *Hierarchy) emitAccess(now, addr uint64, write, ifetch bool, r AccessResult) {
+	if !h.obs.On(obs.ClassCache) {
+		return
+	}
+	kind := "cache-miss"
+	if r.Level == L1 {
+		kind = "cache-hit"
+	}
+	h.obs.Emit(obs.Event{Cycle: now, Class: obs.ClassCache, Kind: kind,
+		Addr: addr, Level: r.Level.String(), Dur: r.Done - now,
+		Detail: fmt.Sprintf("addr=%#x level=%v write=%v ifetch=%v done=%d",
+			addr, r.Level, write, ifetch, r.Done)})
+}
+
+// emitMSHRMerge reports a miss merged into an outstanding MSHR at level at.
+func (h *Hierarchy) emitMSHRMerge(now, addr uint64, at Level, done uint64) {
+	if !h.obs.On(obs.ClassCache) {
+		return
+	}
+	h.obs.Emit(obs.Event{Cycle: now, Class: obs.ClassCache, Kind: "mshr-merge",
+		Addr: addr, Level: at.String(),
+		Detail: fmt.Sprintf("addr=%#x merged-at=%v done=%d", addr, at, done)})
+}
+
+// emitDRAM reports one DRAM controller access as a row-buffer hit or
+// conflict (row miss).
+func (h *Hierarchy) emitDRAM(now, addr uint64, rowHit bool, done uint64) {
+	if !h.obs.On(obs.ClassDRAM) {
+		return
+	}
+	kind := "dram-row-conflict"
+	if rowHit {
+		kind = "dram-row-hit"
+	}
+	h.obs.Emit(obs.Event{Cycle: now, Class: obs.ClassDRAM, Kind: kind,
+		Addr: addr, Dur: done - now,
+		Detail: fmt.Sprintf("addr=%#x done=%d", addr, done)})
+}
+
+// emitTLBMiss reports a normal-path translation that missed the L1 TLB.
+func (h *Hierarchy) emitTLBMiss(now, addr, done uint64) {
+	if !h.obs.On(obs.ClassTLB) {
+		return
+	}
+	h.obs.Emit(obs.Event{Cycle: now, Class: obs.ClassTLB, Kind: "tlb-miss",
+		Addr: addr, Dur: done - now,
+		Detail: fmt.Sprintf("addr=%#x page=%#x done=%d", addr, h.tlb.page(addr), done)})
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.On(ClassSquash) {
+		t.Fatal("nil recorder must report every class off")
+	}
+	r.Emit(Event{Class: ClassSquash}) // must not panic
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskFiltering(t *testing.T) {
+	ring := NewRingSink(8)
+	r := NewRecorder(ClassSquash|ClassSDO, ring)
+	if r.On(ClassCache) {
+		t.Fatal("cache class should be masked out")
+	}
+	if !r.On(ClassSquash) || !r.On(ClassSDO) {
+		t.Fatal("enabled classes should be on")
+	}
+	r.Emit(Event{Class: ClassSquash, Kind: "squash"})
+	r.Emit(Event{Class: ClassCache, Kind: "cache-miss"}) // filtered even on direct Emit
+	r.Emit(Event{Class: ClassSDO, Kind: "obl-issue"})
+	got := ring.Events()
+	if len(got) != 2 || got[0].Kind != "squash" || got[1].Kind != "obl-issue" {
+		t.Fatalf("ring = %+v, want squash + obl-issue", got)
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Class
+	}{
+		{"all", ClassAll},
+		{"", ClassAll},
+		{"squash", ClassSquash},
+		{"squash,sdo, cache", ClassSquash | ClassSDO | ClassCache},
+		{"RENAME", ClassRename},
+	} {
+		got, err := ParseClasses(tc.in)
+		if err != nil {
+			t.Fatalf("ParseClasses(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParseClasses(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := ParseClasses("nonsense"); err == nil {
+		t.Fatal("expected error for unknown class")
+	}
+	// Round trip through String for every single class.
+	for bit := Class(1); bit < 1<<numClasses; bit <<= 1 {
+		back, err := ParseClasses(bit.String())
+		if err != nil || back != bit {
+			t.Fatalf("round trip of %v failed: %v, %v", bit, back, err)
+		}
+	}
+}
+
+func TestTextSinkFormat(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewTextSink(&buf)
+	s.Emit(Event{Cycle: 42, Class: ClassRename, Kind: "rename", Detail: "seq=7 pc=3 add r1,r2,r3"})
+	s.Close()
+	want := "[      42] rename         seq=7 pc=3 add r1,r2,r3\n"
+	if buf.String() != want {
+		t.Fatalf("text line = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Event{Cycle: 1, Class: ClassSquash, Kind: "squash", Seq: 9, Detail: "cause=branch"})
+	s.Emit(Event{Cycle: 2, Class: ClassCache, Kind: "cache-miss", Addr: 0x1000, Level: "L2"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if first["class"] != "squash" || first["kind"] != "squash" || first["seq"] != float64(9) {
+		t.Fatalf("line 1 = %v", first)
+	}
+}
+
+func TestChromeSinkValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	s.Emit(Event{Cycle: 10, Class: ClassIssue, Kind: "issue-load", Seq: 3, Addr: 0x40, Dur: 12})
+	s.Emit(Event{Cycle: 15, Class: ClassSquash, Kind: "squash", Detail: "cause=obl-fail"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0]["ph"] != "X" || doc.TraceEvents[0]["dur"] != float64(12) {
+		t.Fatalf("span event wrong: %v", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[1]["ph"] != "i" {
+		t.Fatalf("instant event wrong: %v", doc.TraceEvents[1])
+	}
+	if doc.TraceEvents[0]["tid"] == doc.TraceEvents[1]["tid"] {
+		t.Fatal("distinct classes should land on distinct tracks")
+	}
+}
+
+func TestChromeSinkEmptyTraceIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeSink(&buf)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty chrome trace invalid: %v", err)
+	}
+	if err := s.Close(); err != nil { // double close must be safe
+		t.Fatal(err)
+	}
+}
+
+func TestRingSinkWraps(t *testing.T) {
+	s := NewRingSink(3)
+	for i := 1; i <= 5; i++ {
+		s.Emit(Event{Cycle: uint64(i), Class: ClassCommit, Kind: "commit"})
+	}
+	got := s.Events()
+	if len(got) != 3 || got[0].Cycle != 3 || got[2].Cycle != 5 {
+		t.Fatalf("ring = %+v, want cycles 3..5", got)
+	}
+	var buf bytes.Buffer
+	s.WriteText(&buf)
+	if n := strings.Count(buf.String(), "\n"); n != 3 {
+		t.Fatalf("postmortem has %d lines, want 3", n)
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+// Recorder fans events out to sinks, filtered by a class mask. Components
+// hold a possibly-nil *Recorder; On is a nil-receiver method, so an
+// uninstrumented run pays exactly one nil check per would-be event and
+// never constructs the Event value.
+//
+// Usage at an emission site:
+//
+//	if c.obs.On(obs.ClassSquash) {
+//		c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassSquash, ...})
+//	}
+type Recorder struct {
+	mask  Class
+	sinks []Sink
+}
+
+// NewRecorder builds a recorder emitting the masked classes to sinks.
+func NewRecorder(mask Class, sinks ...Sink) *Recorder {
+	return &Recorder{mask: mask, sinks: sinks}
+}
+
+// On reports whether events of class c should be built and emitted. Safe
+// (and false) on a nil recorder — this is the zero-cost-when-disabled
+// guard every instrumented site uses.
+func (r *Recorder) On(c Class) bool { return r != nil && r.mask&c != 0 }
+
+// Emit delivers the event to every sink. Callers guard with On, so a
+// masked-out or nil recorder never reaches here on the hot path; Emit
+// still re-checks to be safe against direct calls.
+func (r *Recorder) Emit(e Event) {
+	if r == nil || r.mask&e.Class == 0 {
+		return
+	}
+	for _, s := range r.sinks {
+		s.Emit(e)
+	}
+}
+
+// Close closes every sink (flushing buffers, writing trailers) and
+// returns the first error.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	var first error
+	for _, s := range r.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -2,11 +2,11 @@ package pipeline
 
 import (
 	"fmt"
-	"io"
 
 	"repro/internal/bpred"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Core is one simulated out-of-order core executing a program against a
@@ -38,14 +38,15 @@ type Core struct {
 	fetchLine       uint64 // last I-cache line fetched (0 = none yet)
 	fetchBuf        []fetchSlot
 
-	tracer io.Writer
+	obs *obs.Recorder
 
 	cycle           uint64
 	frontier        uint64
 	lastCommitCycle uint64
 	halted          bool
 
-	stats Stats
+	stats    Stats
+	interval intervalState
 }
 
 // parkedSquash is a squash whose application is delayed until its predicate
@@ -159,6 +160,9 @@ func (c *Core) Step() error {
 	c.issue()
 	c.rename()
 	c.fetch()
+	if c.interval.every != 0 {
+		c.sampleInterval()
+	}
 	return nil
 }
 
@@ -246,8 +250,10 @@ func (c *Core) rename() {
 
 		seq := c.tailSeq
 		c.tailSeq++
-		if c.tracer != nil {
-			c.trace("rename", "seq=%d pc=%d %v", seq, slot.pc, slot.in)
+		if c.obs.On(obs.ClassRename) {
+			c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassRename, Kind: "rename",
+				Seq: seq, PC: slot.pc,
+				Detail: fmt.Sprintf("seq=%d pc=%d %v", seq, slot.pc, slot.in)})
 		}
 		e := c.entry(seq)
 		*e = robEntry{

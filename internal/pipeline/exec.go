@@ -1,6 +1,11 @@
 package pipeline
 
-import "repro/internal/isa"
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
 
 // issue selects ready instructions from the issue queue in age order,
 // subject to functional-unit availability and the active protection
@@ -88,6 +93,11 @@ func (c *Core) issueFP(e *robEntry) bool {
 			e.doneAt = c.cycle + opLatency(e.in, vals[0], vals[1], e.destVal, true)
 			e.state = stExecuting
 			c.stats.FPSDOIssued++
+			if c.obs.On(obs.ClassFP) {
+				c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassFP, Kind: "fp-sdo-issue",
+					Seq: e.seq, PC: e.pc, Dur: e.doneAt - c.cycle,
+					Detail: fmt.Sprintf("seq=%d pc=%d %v will-fail=%v", e.seq, e.pc, e.in, e.fpFail)})
+			}
 			return true
 		}
 	}
@@ -145,6 +155,11 @@ func (c *Core) issueStore(e *robEntry) bool {
 		e.doneAt = ^uint64(0) // completed by data bind, not by time
 	}
 	c.stats.Stores++
+	if c.obs.On(obs.ClassIssue) {
+		c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassIssue, Kind: "issue-store",
+			Seq: e.seq, PC: e.pc, Addr: e.addr,
+			Detail: fmt.Sprintf("seq=%d pc=%d addr=%#x data-ready=%v", e.seq, e.pc, e.addr, e.sqDataReady)})
+	}
 	c.checkStoreViolation(e)
 	return true
 }

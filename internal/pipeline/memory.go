@@ -1,8 +1,11 @@
 package pipeline
 
 import (
+	"fmt"
+
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // accessSize returns the byte width of a memory op.
@@ -124,9 +127,6 @@ func (c *Core) issueNormalLoad(e *robEntry) bool {
 	}
 	c.memPortsBusy++
 	c.stats.Loads++
-	if c.tracer != nil {
-		c.trace("issue-load", "seq=%d pc=%d addr=%#x", e.seq, e.pc, e.addr)
-	}
 	e.destRoot = e.seq // access instruction: output tainted until its VP
 	if fwdOK {
 		e.destVal = fv
@@ -134,6 +134,7 @@ func (c *Core) issueNormalLoad(e *robEntry) bool {
 		e.memLevel = mem.L1 // store-queue forward: L1-equivalent timing
 		e.doneAt = c.cycle + 1
 		e.state = stExecuting
+		c.emitIssueLoad(e)
 		return true
 	}
 	tdone, _ := c.port.Translate(c.cycle, e.addr)
@@ -142,6 +143,7 @@ func (c *Core) issueNormalLoad(e *robEntry) bool {
 	e.memLevel = r.Level
 	e.doneAt = r.Done
 	e.state = stExecuting
+	c.emitIssueLoad(e)
 	if e.oblMemDelayed {
 		// §V-C3: a predicted-DRAM load executes normally once safe; the
 		// location predictor is trained with where the data actually was,
@@ -149,6 +151,17 @@ func (c *Core) issueNormalLoad(e *robEntry) bool {
 		c.cfg.LocPred.Update(c.pcAddr(e.pc), r.Level)
 	}
 	return true
+}
+
+// emitIssueLoad reports a normal-path load issue (ClassIssue); span-shaped
+// (Dur = issue-to-done) so trace viewers render the memory latency.
+func (c *Core) emitIssueLoad(e *robEntry) {
+	if !c.obs.On(obs.ClassIssue) {
+		return
+	}
+	c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassIssue, Kind: "issue-load",
+		Seq: e.seq, PC: e.pc, Addr: e.addr, Level: e.memLevel.String(), Dur: e.doneAt - c.cycle,
+		Detail: fmt.Sprintf("seq=%d pc=%d addr=%#x", e.seq, e.pc, e.addr)})
 }
 
 // issueOblLoad issues the load as an Obl-Ld operation (§V-B). Resource
@@ -189,6 +202,12 @@ func (c *Core) issueOblLoad(e *robEntry, pred mem.Level) bool {
 		// validation; the InvisiSpec reordering condition is re-checked
 		// when the load becomes safe (see stepObl).
 		e.exposure = e.oblRes.Found == mem.L1
+	}
+	if c.obs.On(obs.ClassSDO) {
+		c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassSDO, Kind: "obl-issue",
+			Seq: e.seq, PC: e.pc, Addr: e.addr, Level: pred.String(), Dur: e.oblRes.Done - c.cycle,
+			Detail: fmt.Sprintf("seq=%d pc=%d addr=%#x pred=%v found=%v tlb-ok=%v",
+				e.seq, e.pc, e.addr, pred, e.oblRes.Found, e.oblTLBOK)})
 	}
 	return true
 }
@@ -363,6 +382,11 @@ func (c *Core) stepObl(e *robEntry) {
 				c.stats.Exposures++
 				c.port.Load(c.cycle, e.addr) // asynchronous line fill
 				e.obl = oblResolved
+				if c.obs.On(obs.ClassSDO) {
+					c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassSDO, Kind: "obl-expose",
+						Seq: e.seq, PC: e.pc, Addr: e.addr, Level: e.oblActualLevel().String(),
+						Detail: fmt.Sprintf("seq=%d addr=%#x found=%v", e.seq, e.addr, e.oblActualLevel())})
+				}
 			} else {
 				c.startValidation(e)
 				e.obl = oblValidating
@@ -378,6 +402,12 @@ func (c *Core) stepObl(e *robEntry) {
 			cause = sqTLB
 		}
 		c.stats.OblFail++
+		if c.obs.On(obs.ClassSDO) {
+			c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassSDO, Kind: "obl-fail",
+				Seq: e.seq, PC: e.pc, Addr: e.addr, Level: e.oblPred.String(),
+				Detail: fmt.Sprintf("seq=%d addr=%#x pred=%v cause=%s (squash)",
+					e.seq, e.addr, e.oblPred, squashCauseNames[cause])})
+		}
 		c.recordPrediction(e, c.port.Probe(e.addr))
 		e.obl = oblResolved
 		c.squash(e.seq, cause, e.pc)
@@ -405,6 +435,12 @@ func (c *Core) stepObl(e *robEntry) {
 			// the Obl-Ld result and wait for the validation — no squash.
 			c.stats.OblFail++
 			e.oblDropped = true
+			if c.obs.On(obs.ClassSDO) {
+				c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassSDO, Kind: "obl-fail",
+					Seq: e.seq, PC: e.pc, Addr: e.addr, Level: e.oblPred.String(),
+					Detail: fmt.Sprintf("seq=%d addr=%#x pred=%v dropped; validation supplies value",
+						e.seq, e.addr, e.oblPred)})
+			}
 			return
 		}
 		// Early forwarding (§V-C2 optimisation): once safe, a success
@@ -415,6 +451,12 @@ func (c *Core) stepObl(e *robEntry) {
 		if e.state != stDone && !e.oblDropped && e.oblSuccessful() && c.cycle >= e.oblRes.EarlyDone {
 			if c.cycle < e.oblRes.Done {
 				c.stats.OblEarlyForward++
+				if c.obs.On(obs.ClassSDO) {
+					c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassSDO, Kind: "obl-early-fwd",
+						Seq: e.seq, PC: e.pc, Addr: e.addr, Level: e.oblActualLevel().String(),
+						Detail: fmt.Sprintf("seq=%d addr=%#x found=%v saved=%d",
+							e.seq, e.addr, e.oblActualLevel(), e.oblRes.Done-c.cycle)})
+				}
 			}
 			c.stats.OblSuccess++
 			c.bindOblValue(e, e.destVal)
@@ -429,6 +471,11 @@ func (c *Core) stepObl(e *robEntry) {
 		e.valInFlight = false
 		if c.readMem(e) != e.valSnapshot {
 			// Consistency violation detected by the validation (§V-C1).
+			if c.obs.On(obs.ClassSDO) {
+				c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassSDO, Kind: "obl-fail",
+					Seq: e.seq, PC: e.pc, Addr: e.addr,
+					Detail: fmt.Sprintf("seq=%d addr=%#x validation mismatch (squash)", e.seq, e.addr)})
+			}
 			e.obl = oblResolved
 			c.squash(e.seq, sqValidation, e.pc)
 			return
@@ -453,6 +500,11 @@ func (c *Core) startValidation(e *robEntry) {
 	e.valDone = r.Done
 	e.valLevel = r.Level
 	e.valInFlight = true
+	if c.obs.On(obs.ClassSDO) {
+		c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassSDO, Kind: "obl-validate",
+			Seq: e.seq, PC: e.pc, Addr: e.addr, Level: r.Level.String(), Dur: r.Done - c.cycle,
+			Detail: fmt.Sprintf("seq=%d addr=%#x level=%v", e.seq, e.addr, r.Level)})
+	}
 }
 
 // recordPrediction accumulates Table III / Figure 7 statistics for one

@@ -1,6 +1,11 @@
 package pipeline
 
-import "repro/internal/isa"
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/obs"
+)
 
 // resolve runs the untaint-driven machinery once per cycle: it computes
 // the visibility frontier, then — oldest first — applies parked squashes
@@ -120,9 +125,11 @@ func (c *Core) resolveBranches() {
 		}
 		e.effectApplied = true
 		c.stats.BranchesResolved++
-		if c.tracer != nil {
-			c.trace("resolve-branch", "seq=%d pc=%d taken=%v mispredicted=%v target=%d",
-				e.seq, e.pc, e.actualTaken, e.mispredicted, e.actualTarget)
+		if c.obs.On(obs.ClassBranch) {
+			c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassBranch, Kind: "resolve-branch",
+				Seq: e.seq, PC: e.pc,
+				Detail: fmt.Sprintf("seq=%d pc=%d taken=%v mispredicted=%v target=%d",
+					e.seq, e.pc, e.actualTaken, e.mispredicted, e.actualTarget)})
 		}
 		if e.mispredicted {
 			c.stats.BranchMispredicts++
@@ -151,6 +158,11 @@ func (c *Core) resolveFPSDO() {
 		e.effectApplied = true
 		if e.fpFail {
 			c.stats.FPSDOFail++
+			if c.obs.On(obs.ClassFP) {
+				c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassFP, Kind: "fp-sdo-fail",
+					Seq: e.seq, PC: e.pc,
+					Detail: fmt.Sprintf("seq=%d pc=%d %v subnormal operands", e.seq, e.pc, e.in)})
+			}
 			c.squash(e.seq, sqFPFail, e.pc)
 			return
 		}
@@ -169,9 +181,11 @@ func (c *Core) squash(from uint64, cause squashCause, refetch int) {
 		panic("pipeline: squash of committed instructions")
 	}
 	c.stats.Squashes[cause]++
-	if c.tracer != nil {
-		c.trace("squash", "from=%d cause=%s refetch-pc=%d tail-was=%d",
-			from, squashCauseNames[cause], refetch, c.tailSeq)
+	if c.obs.On(obs.ClassSquash) {
+		c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassSquash, Kind: "squash",
+			Seq: from, PC: refetch,
+			Detail: fmt.Sprintf("from=%d cause=%s refetch-pc=%d tail-was=%d",
+				from, squashCauseNames[cause], refetch, c.tailSeq)})
 	}
 
 	if from < c.tailSeq {
@@ -308,8 +322,10 @@ func (c *Core) commit() {
 		if len(c.sq) > 0 && c.sq[0] == e.seq {
 			c.sq = c.sq[1:]
 		}
-		if c.tracer != nil {
-			c.trace("commit", "seq=%d pc=%d %v val=%#x", e.seq, e.pc, e.in, e.destVal)
+		if c.obs.On(obs.ClassCommit) {
+			c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassCommit, Kind: "commit",
+				Seq: e.seq, PC: e.pc,
+				Detail: fmt.Sprintf("seq=%d pc=%d %v val=%#x", e.seq, e.pc, e.in, e.destVal)})
 		}
 		c.headSeq++
 		c.stats.Committed++

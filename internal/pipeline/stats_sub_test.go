@@ -1,0 +1,69 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsSubSubtractsEveryNumericField guards Stats.Sub against the
+// classic bug of adding a counter to Stats and forgetting to subtract it:
+// warmup exclusion and interval deltas would silently absorb warmup
+// activity. The test fills every numeric field of two Stats values with
+// distinct numbers via reflection and checks Sub produces exactly
+// cur-base in each — so it fails the moment a new field is added without
+// updating Sub.
+func TestStatsSubSubtractsEveryNumericField(t *testing.T) {
+	var base, cur Stats
+	bv := reflect.ValueOf(&base).Elem()
+	cv := reflect.ValueOf(&cur).Elem()
+	seed := uint64(1)
+	fill := func(b, c reflect.Value) {
+		// cur-base = 2*seed+3 while cur alone is 3*seed+3: a field that
+		// Sub copies instead of subtracting cannot match its expectation.
+		b.SetUint(seed)
+		c.SetUint(3*seed + 3)
+		seed++
+	}
+	for i := 0; i < bv.NumField(); i++ {
+		f := bv.Type().Field(i)
+		switch f.Type.Kind() {
+		case reflect.Uint64:
+			fill(bv.Field(i), cv.Field(i))
+		case reflect.Array:
+			if f.Type.Elem().Kind() != reflect.Uint64 {
+				t.Fatalf("Stats.%s: array of %s — teach this test and Stats.Sub about it", f.Name, f.Type.Elem())
+			}
+			for j := 0; j < f.Type.Len(); j++ {
+				fill(bv.Field(i).Index(j), cv.Field(i).Index(j))
+			}
+		case reflect.Bool:
+			cv.Field(i).SetBool(true) // Halted: carried over, not subtracted
+		default:
+			t.Fatalf("Stats.%s: unhandled kind %s — teach this test and Stats.Sub about it", f.Name, f.Type.Kind())
+		}
+	}
+
+	d := cur.Sub(base)
+	dv := reflect.ValueOf(d)
+	for i := 0; i < dv.NumField(); i++ {
+		f := dv.Type().Field(i)
+		switch f.Type.Kind() {
+		case reflect.Uint64:
+			got, want := dv.Field(i).Uint(), cv.Field(i).Uint()-bv.Field(i).Uint()
+			if got != want {
+				t.Errorf("Stats.Sub does not subtract %s: got %d, want %d", f.Name, got, want)
+			}
+		case reflect.Array:
+			for j := 0; j < f.Type.Len(); j++ {
+				got, want := dv.Field(i).Index(j).Uint(), cv.Field(i).Index(j).Uint()-bv.Field(i).Index(j).Uint()
+				if got != want {
+					t.Errorf("Stats.Sub does not subtract %s[%d]: got %d, want %d", f.Name, j, got, want)
+				}
+			}
+		case reflect.Bool:
+			if !dv.Field(i).Bool() {
+				t.Errorf("Stats.Sub must carry over %s", f.Name)
+			}
+		}
+	}
+}

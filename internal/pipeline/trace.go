@@ -1,23 +1,41 @@
 package pipeline
 
 import (
-	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
-// SetTracer directs a cycle-by-cycle event log (rename, load issue, branch
-// resolution, squash, commit) to w. Pass nil to disable. The format is one
-// line per event:
+// SetObserver attaches an event recorder to the core. Components emit
+// typed events (rename, issue, squash, commit, branch resolution, the
+// Obl-Ld state machine, SDO FP operations) to the recorder's sinks,
+// filtered by its class mask. Pass nil to detach. With no recorder
+// attached every emission site reduces to a nil check (obs.Recorder.On
+// has a nil receiver fast path), so an untraced simulation pays nothing.
 //
-//	[cycle] event seq=.. pc=.. <details>
-//
-// Tracing is for debugging and teaching; it does not affect simulation
-// results.
-func (c *Core) SetTracer(w io.Writer) { c.tracer = w }
+// The memory system has its own observer (mem.Hierarchy.SetObserver);
+// core.Machine wires both to the same recorder.
+func (c *Core) SetObserver(r *obs.Recorder) { c.obs = r }
 
-func (c *Core) trace(event string, format string, args ...any) {
-	if c.tracer == nil {
+// Observer returns the attached recorder (nil when tracing is off).
+func (c *Core) Observer() *obs.Recorder { return c.obs }
+
+// SetTracer directs a cycle-by-cycle event log (rename, load issue, branch
+// resolution, squash, commit) to w. Pass nil to disable.
+//
+// Deprecated: SetTracer predates the typed event bus and remains for
+// compatibility. It is equivalent to SetObserver with a text sink and all
+// event classes enabled; the line format is unchanged:
+//
+//	[cycle] event <details>
+//
+// New code should build an obs.Recorder (choosing sinks and an event-class
+// mask) and call SetObserver; cmd/sdosim exposes this as -trace-format and
+// -trace-events.
+func (c *Core) SetTracer(w io.Writer) {
+	if w == nil {
+		c.obs = nil
 		return
 	}
-	fmt.Fprintf(c.tracer, "[%8d] %-14s %s\n", c.cycle, event, fmt.Sprintf(format, args...))
+	c.obs = obs.NewRecorder(obs.ClassAll, obs.NewTextSink(w))
 }

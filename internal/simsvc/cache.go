@@ -1,6 +1,7 @@
 package simsvc
 
 import (
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -14,55 +15,117 @@ import (
 // cacheFileVersion versions the on-disk cache format (the JSON shape of
 // core.Result). A mismatch discards the file rather than decoding stale
 // counters into new fields.
-const cacheFileVersion = 1
+//
+// v2: core.Result gained the interval time series (Intervals,
+// ROBOccHist, LQOccHist) and RunSpec gained IntervalCycles.
+const cacheFileVersion = 2
 
 // Cache is a content-addressed store of completed simulation results,
-// keyed by RunSpec.CacheKey. It is safe for concurrent use and keeps
-// hit/miss counters for the service's /metrics endpoint.
+// keyed by RunSpec.CacheKey, with an optional LRU size bound. It is safe
+// for concurrent use and keeps hit/miss/eviction counters for the
+// service's /metrics endpoint.
 type Cache struct {
-	mu      sync.RWMutex
-	entries map[string]core.Result
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	max       int // 0: unbounded
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
-// NewCache returns an empty cache.
+// lruEntry is one cached result with its key (for map removal on evict).
+type lruEntry struct {
+	key string
+	res core.Result
+}
+
+// NewCache returns an empty, unbounded cache.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[string]core.Result)}
+	return &Cache{entries: make(map[string]*list.Element), order: list.New()}
 }
 
-// Get looks up a result, counting the access as a hit or a miss.
+// SetMaxEntries bounds the cache to n results, evicting
+// least-recently-used entries immediately if it is already over; n <= 0
+// removes the bound.
+func (c *Cache) SetMaxEntries(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.max = n
+	c.evictOver()
+}
+
+// MaxEntries returns the current bound (0: unbounded).
+func (c *Cache) MaxEntries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.max
+}
+
+// evictOver drops LRU entries until the bound is met. Caller holds mu.
+func (c *Cache) evictOver() {
+	for c.max > 0 && len(c.entries) > c.max {
+		back := c.order.Back()
+		if back == nil {
+			return
+		}
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// Get looks up a result, counting the access as a hit or a miss and
+// refreshing the entry's recency.
 func (c *Cache) Get(key string) (core.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, ok := c.entries[key]
-	if ok {
-		c.hits++
-	} else {
+	el, ok := c.entries[key]
+	if !ok {
 		c.misses++
+		return core.Result{}, false
 	}
-	return r, ok
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
 }
 
-// Put stores a completed result.
+// Put stores a completed result as the most recently used entry, evicting
+// the least recently used one if the bound is exceeded.
 func (c *Cache) Put(key string, r core.Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries[key] = r
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).res = r
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, res: r})
+	c.evictOver()
 }
 
 // Len returns the number of cached results.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.entries)
 }
 
 // Stats returns the cumulative hit and miss counts.
 func (c *Cache) Stats() (hits, misses uint64) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evictions returns how many entries the LRU bound has dropped.
+func (c *Cache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // cacheFile is the persisted form. Entries are a sorted list (not a map)
@@ -79,12 +142,12 @@ type cacheEntry struct {
 
 // Save writes the cache atomically (temp file + rename) to path.
 func (c *Cache) Save(path string) error {
-	c.mu.RLock()
+	c.mu.Lock()
 	f := cacheFile{Version: cacheFileVersion}
-	for k, r := range c.entries {
-		f.Entries = append(f.Entries, cacheEntry{Key: k, Result: r})
+	for k, el := range c.entries {
+		f.Entries = append(f.Entries, cacheEntry{Key: k, Result: el.Value.(*lruEntry).res})
 	}
-	c.mu.RUnlock()
+	c.mu.Unlock()
 	sort.Slice(f.Entries, func(i, j int) bool { return f.Entries[i].Key < f.Entries[j].Key })
 
 	data, err := json.MarshalIndent(&f, "", " ")
@@ -130,7 +193,10 @@ func LoadCache(path string) (*Cache, error) {
 		return c, nil
 	}
 	for _, e := range f.Entries {
-		c.entries[e.Key] = e.Result
+		if _, ok := c.entries[e.Key]; ok {
+			continue
+		}
+		c.entries[e.Key] = c.order.PushFront(&lruEntry{key: e.Key, res: e.Result})
 	}
 	return c, nil
 }

@@ -3,6 +3,7 @@ package simsvc
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -76,7 +77,7 @@ func TestCacheSaveLoadRoundTrip(t *testing.T) {
 		t.Fatalf("reloaded %d entries, want 2", c2.Len())
 	}
 	got, ok := c2.Get("k1")
-	if !ok || got != r {
+	if !ok || !reflect.DeepEqual(got, r) {
 		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, r)
 	}
 

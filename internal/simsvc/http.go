@@ -153,23 +153,8 @@ func (s *Service) handleExport(w http.ResponseWriter, r *http.Request) {
 	res.WriteJSON(w)
 }
 
-// handleMetrics writes the counters in the Prometheus text exposition
-// format (no client library: stdlib only).
+// handleMetrics writes the registry in the Prometheus text exposition
+// format (no client library: stdlib only — see internal/obs).
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.Snapshot()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	write := func(name, typ, help string, v any) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
-	}
-	write("sdo_cache_hits_total", "counter", "Result-cache hits.", m.CacheHits)
-	write("sdo_cache_misses_total", "counter", "Result-cache misses.", m.CacheMisses)
-	write("sdo_cache_entries", "gauge", "Results currently cached.", m.CacheEntries)
-	write("sdo_queue_depth", "gauge", "Cells waiting for a worker.", m.QueueDepth)
-	write("sdo_inflight_runs", "gauge", "Cells currently executing.", m.InFlight)
-	write("sdo_runs_executed_total", "counter", "Simulations actually run.", m.RunsExecuted)
-	write("sdo_runs_deduped_total", "counter", "Cells coalesced onto an identical in-flight run.", m.RunsDeduped)
-	write("sdo_runs_skipped_total", "counter", "Cells abandoned by cancellation or shutdown.", m.RunsSkipped)
-	write("sdo_run_seconds_total", "counter", "Cumulative wall time of executed simulations.",
-		fmt.Sprintf("%.6f", m.RunSeconds))
-	write("sdo_jobs_total", "counter", "Sweep jobs submitted.", m.JobsTotal)
+	s.reg.ServeHTTP(w, r)
 }

@@ -30,17 +30,21 @@ import (
 // seeded PRNG fills live in init functions the key cannot observe; the
 // program text itself is fingerprinted) or the simulated
 // microarchitecture (pipeline/mem defaults).
-const keySchema = "sdo-cache-v1"
+// v2: RunSpec gained IntervalCycles (interval time series ride along in
+// the cached core.Result, so two runs differing only in sampling
+// cadence are distinct cache entries).
+const keySchema = "sdo-cache-v2"
 
 // RunSpec identifies one simulation cell, in the exact terms the cache
 // key is derived from.
 type RunSpec struct {
-	Workload     string
-	Variant      core.Variant
-	Model        pipeline.AttackModel
-	WarmupInstrs uint64
-	MaxInstrs    uint64
-	Ablate       core.Ablation
+	Workload       string
+	Variant        core.Variant
+	Model          pipeline.AttackModel
+	WarmupInstrs   uint64
+	MaxInstrs      uint64
+	IntervalCycles uint64
+	Ablate         core.Ablation
 }
 
 // Key converts the spec to the harness's run key.
@@ -94,9 +98,9 @@ func (s RunSpec) CacheKey() (string, error) {
 		return "", err
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|wl=%s|prog=%s|variant=%d|model=%d|warmup=%d|max=%d|ablate=%t,%t,%t,%t",
+	fmt.Fprintf(h, "%s|wl=%s|prog=%s|variant=%d|model=%d|warmup=%d|max=%d|interval=%d|ablate=%t,%t,%t,%t",
 		keySchema, s.Workload, fp, int(s.Variant), int(s.Model),
-		s.WarmupInstrs, s.MaxInstrs,
+		s.WarmupInstrs, s.MaxInstrs, s.IntervalCycles,
 		s.Ablate.DisableEarlyForward, s.Ablate.AlwaysValidate,
 		s.Ablate.NoImplicitChannelProtection, s.Ablate.OblDRAMVariant)
 	return hex.EncodeToString(h.Sum(nil)), nil

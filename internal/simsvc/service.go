@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -21,6 +22,9 @@ type Config struct {
 	// CachePath persists the result cache across restarts ("" disables
 	// persistence; the in-memory cache still works).
 	CachePath string
+	// CacheMaxEntries bounds the result cache; least-recently-used
+	// results are evicted past the bound (0: unbounded).
+	CacheMaxEntries int
 }
 
 // ErrClosed is returned by Submit after Shutdown has begun.
@@ -49,6 +53,10 @@ type Service struct {
 	runsSkipped  atomic.Uint64 // cells abandoned by cancellation/shutdown
 	runNanos     atomic.Uint64 // cumulative wall time of executed runs
 	jobsTotal    atomic.Uint64
+
+	reg      *obs.Registry
+	runDur   *obs.Histogram // per-run wall time
+	queueLat *obs.Histogram // submit-to-start latency per cell
 }
 
 // flight is one in-progress simulation with every (job, cell) waiting on
@@ -73,6 +81,7 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 	}
+	cache.SetMaxEntries(cfg.CacheMaxEntries)
 	if cfg.Workers <= 0 {
 		cfg.Workers = harness.Options{Parallel: true}.Workers()
 	}
@@ -86,8 +95,54 @@ func New(cfg Config) (*Service, error) {
 		inflight: make(map[string]*flight),
 	}
 	s.pool = harness.NewPool(ctx, cfg.Workers)
+	s.registerMetrics()
 	return s, nil
 }
+
+// registerMetrics builds the /metrics registry. Counter/gauge values
+// that already live in atomics or subcomponents are sampled at scrape
+// time; the latency distributions are real histograms.
+func (s *Service) registerMetrics() {
+	r := obs.NewRegistry()
+	ctr := func(name, help string, fn func() float64) { r.NewCounterFunc(name, help, fn) }
+	gau := func(name, help string, fn func() float64) { r.NewGaugeFunc(name, help, fn) }
+
+	ctr("sdo_cache_hits_total", "Result-cache hits.",
+		func() float64 { h, _ := s.cache.Stats(); return float64(h) })
+	ctr("sdo_cache_misses_total", "Result-cache misses.",
+		func() float64 { _, m := s.cache.Stats(); return float64(m) })
+	ctr("sdo_cache_evictions_total", "Results evicted by the LRU size bound.",
+		func() float64 { return float64(s.cache.Evictions()) })
+	gau("sdo_cache_entries", "Results currently cached.",
+		func() float64 { return float64(s.cache.Len()) })
+	gau("sdo_cache_max_entries", "Configured result-cache bound (0: unbounded).",
+		func() float64 { return float64(s.cache.MaxEntries()) })
+	gau("sdo_queue_depth", "Cells waiting for a worker.",
+		func() float64 { return float64(s.pool.QueueDepth()) })
+	gau("sdo_inflight_runs", "Cells currently executing.",
+		func() float64 { return float64(s.pool.Active()) })
+	gau("sdo_workers", "Worker-pool size.",
+		func() float64 { return float64(s.cfg.Workers) })
+	ctr("sdo_runs_executed_total", "Simulations actually run.",
+		func() float64 { return float64(s.runsExecuted.Load()) })
+	ctr("sdo_runs_deduped_total", "Cells coalesced onto an identical in-flight run.",
+		func() float64 { return float64(s.runsDeduped.Load()) })
+	ctr("sdo_runs_skipped_total", "Cells abandoned by cancellation or shutdown.",
+		func() float64 { return float64(s.runsSkipped.Load()) })
+	ctr("sdo_run_seconds_total", "Cumulative wall time of executed simulations.",
+		func() float64 { return float64(s.runNanos.Load()) / 1e9 })
+	ctr("sdo_jobs_total", "Sweep jobs submitted.",
+		func() float64 { return float64(s.jobsTotal.Load()) })
+	s.runDur = r.NewHistogram("sdo_run_duration_seconds",
+		"Wall time of individual executed simulations.", obs.DefaultLatencyBuckets())
+	s.queueLat = r.NewHistogram("sdo_queue_latency_seconds",
+		"Submit-to-start latency of scheduled cells.", obs.DefaultLatencyBuckets())
+	s.reg = r
+}
+
+// Registry exposes the service's metrics registry (the /metrics
+// document), e.g. for embedding additional process-level collectors.
+func (s *Service) Registry() *obs.Registry { return s.reg }
 
 // Cache exposes the service's result cache (read-mostly: tests and
 // metrics).
@@ -103,6 +158,9 @@ type SweepRequest struct {
 	Models       []string `json:"models,omitempty"`
 	MaxInstrs    uint64   `json:"max_instrs,omitempty"`
 	WarmupInstrs *uint64  `json:"warmup_instrs,omitempty"`
+	// IntervalCycles samples an interval statistics point every N cycles
+	// of each run's measurement window into the export (0: off).
+	IntervalCycles uint64 `json:"interval_cycles,omitempty"`
 }
 
 // parseModel maps a request string to an attack model.
@@ -126,6 +184,7 @@ func (s *Service) resolve(req SweepRequest) (harness.Options, []RunSpec, error) 
 	if req.WarmupInstrs != nil {
 		opt.WarmupInstrs = *req.WarmupInstrs
 	}
+	opt.IntervalCycles = req.IntervalCycles
 	if len(req.Workloads) > 0 {
 		var wls []workload.Workload
 		for _, name := range req.Workloads {
@@ -168,11 +227,12 @@ func (s *Service) resolve(req SweepRequest) (harness.Options, []RunSpec, error) 
 		}
 		seen[k] = true
 		cells = append(cells, RunSpec{
-			Workload:     k.Workload,
-			Variant:      k.Variant,
-			Model:        k.Model,
-			WarmupInstrs: opt.WarmupInstrs,
-			MaxInstrs:    opt.MaxInstrs,
+			Workload:       k.Workload,
+			Variant:        k.Variant,
+			Model:          k.Model,
+			WarmupInstrs:   opt.WarmupInstrs,
+			MaxInstrs:      opt.MaxInstrs,
+			IntervalCycles: opt.IntervalCycles,
 		})
 	}
 	return opt, cells, nil
@@ -211,9 +271,10 @@ func (s *Service) Submit(req SweepRequest) (*Job, error) {
 	s.mu.Unlock()
 	s.jobsTotal.Add(1)
 
+	enqueued := time.Now()
 	for _, c := range cells {
 		c := c
-		s.pool.Submit(func(ctx context.Context) { s.runCell(ctx, j, c) })
+		s.pool.Submit(func(ctx context.Context) { s.runCell(ctx, j, c, enqueued) })
 	}
 	return j, nil
 }
@@ -239,7 +300,8 @@ func (s *Service) Jobs() []*Job {
 
 // runCell executes (or resolves from cache / an identical in-flight run)
 // one cell on a pool worker.
-func (s *Service) runCell(ctx context.Context, j *Job, spec RunSpec) {
+func (s *Service) runCell(ctx context.Context, j *Job, spec RunSpec, enqueued time.Time) {
+	s.queueLat.Observe(time.Since(enqueued).Seconds())
 	if ctx.Err() != nil || j.ctx.Err() != nil {
 		s.runsSkipped.Add(1)
 		j.skip()
@@ -272,8 +334,11 @@ func (s *Service) runCell(ctx context.Context, j *Job, spec RunSpec) {
 	var r core.Result
 	if err == nil {
 		start := time.Now()
-		r, err = harness.RunOne(wl, spec.Variant, spec.Model, spec.Ablate, spec.WarmupInstrs, spec.MaxInstrs)
-		s.runNanos.Add(uint64(time.Since(start)))
+		r, err = harness.RunOne(wl, spec.Variant, spec.Model, spec.Ablate,
+			spec.WarmupInstrs, spec.MaxInstrs, spec.IntervalCycles)
+		elapsed := time.Since(start)
+		s.runNanos.Add(uint64(elapsed))
+		s.runDur.Observe(elapsed.Seconds())
 		s.runsExecuted.Add(1)
 	}
 	if err == nil {
@@ -331,31 +396,35 @@ func (s *Service) Shutdown(ctx context.Context) error {
 
 // Metrics is a point-in-time snapshot of the service counters.
 type Metrics struct {
-	CacheHits    uint64
-	CacheMisses  uint64
-	CacheEntries int
-	QueueDepth   int
-	InFlight     int
-	RunsExecuted uint64
-	RunsDeduped  uint64
-	RunsSkipped  uint64
-	RunSeconds   float64
-	JobsTotal    uint64
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	CacheEntries   int
+	QueueDepth     int
+	InFlight       int
+	Workers        int
+	RunsExecuted   uint64
+	RunsDeduped    uint64
+	RunsSkipped    uint64
+	RunSeconds     float64
+	JobsTotal      uint64
 }
 
 // Snapshot gathers the current metrics.
 func (s *Service) Snapshot() Metrics {
 	hits, misses := s.cache.Stats()
 	return Metrics{
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		CacheEntries: s.cache.Len(),
-		QueueDepth:   s.pool.QueueDepth(),
-		InFlight:     s.pool.Active(),
-		RunsExecuted: s.runsExecuted.Load(),
-		RunsDeduped:  s.runsDeduped.Load(),
-		RunsSkipped:  s.runsSkipped.Load(),
-		RunSeconds:   float64(s.runNanos.Load()) / 1e9,
-		JobsTotal:    s.jobsTotal.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: s.cache.Evictions(),
+		CacheEntries:   s.cache.Len(),
+		QueueDepth:     s.pool.QueueDepth(),
+		InFlight:       s.pool.Active(),
+		Workers:        s.cfg.Workers,
+		RunsExecuted:   s.runsExecuted.Load(),
+		RunsDeduped:    s.runsDeduped.Load(),
+		RunsSkipped:    s.runsSkipped.Load(),
+		RunSeconds:     float64(s.runNanos.Load()) / 1e9,
+		JobsTotal:      s.jobsTotal.Load(),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -95,7 +96,7 @@ func TestDeterminismIsCacheSoundness(t *testing.T) {
 		t.Fatalf("run counts differ: %d vs %d", len(e1.Runs), len(e2.Runs))
 	}
 	for i := range e1.Runs {
-		if e1.Runs[i] != e2.Runs[i] {
+		if !reflect.DeepEqual(e1.Runs[i], e2.Runs[i]) {
 			t.Fatalf("run %d differs:\n fresh:  %+v\n cached: %+v", i, e1.Runs[i], e2.Runs[i])
 		}
 	}
@@ -157,7 +158,7 @@ func TestSingleflight(t *testing.T) {
 	ra, _ := j1.Results()
 	rb, _ := j2.Results()
 	for k, r := range ra.Runs {
-		if rb.Runs[k] != r {
+		if !reflect.DeepEqual(rb.Runs[k], r) {
 			t.Fatalf("%v: results differ between deduplicated jobs", k)
 		}
 	}
@@ -232,7 +233,7 @@ func TestShutdownPersistsAndReloadsCache(t *testing.T) {
 	}
 	res2, _ := j2.Results()
 	for k, r := range res1.Runs {
-		if res2.Runs[k] != r {
+		if !reflect.DeepEqual(res2.Runs[k], r) {
 			t.Fatalf("%v: persisted result differs from live result", k)
 		}
 	}
