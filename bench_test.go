@@ -15,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -273,7 +274,7 @@ func BenchmarkGoldenExecutor(b *testing.B) {
 	memimg := isa.NewMemory()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := isa.Exec(prog, memimg, nil, math.MaxUint64); err != nil {
+		if _, err := arch.Exec(prog, memimg, nil, math.MaxUint64); err != nil {
 			b.Fatal(err)
 		}
 	}

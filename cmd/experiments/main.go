@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/workload"
 )
@@ -35,6 +36,8 @@ func main() {
 		export  = flag.String("export", "", "also write the sweep's JSON export to this file")
 		instrs  = flag.Uint64("instrs", 60_000, "measured instructions per run")
 		warmup  = flag.Uint64("warmup", 50_000, "warmup instructions per run")
+		wmode   = flag.String("warmup-mode", "detailed", "warmup mode: detailed (per-cell pipeline warmup) or functional (emulator warmup with per-workload checkpoints)")
+		noReuse = flag.Bool("no-checkpoint-reuse", false, "with -warmup-mode functional: re-run functional warmup per cell instead of reusing per-workload checkpoints (results are bit-identical; for measurement/CI)")
 		ivl     = flag.Uint64("interval", 0, "sample interval statistics every N cycles (included in -export/-json output)")
 		wls     = flag.String("workloads", "", "comma-separated subset (default: all)")
 		serial  = flag.Bool("serial", false, "disable parallel simulation")
@@ -61,6 +64,13 @@ func main() {
 	opt.WarmupInstrs = *warmup
 	opt.IntervalCycles = *ivl
 	opt.Parallel = !*serial
+	mode, err := core.ParseWarmupMode(*wmode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	opt.WarmupMode = mode
+	opt.NoCheckpointReuse = *noReuse
 	if *wls != "" {
 		var list []workload.Workload
 		for _, name := range strings.Split(*wls, ",") {
@@ -96,6 +106,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if *warmup > 0 {
+		// Stderr so the counters never perturb the JSON/report outputs:
+		// reuse on/off must export byte-identical documents.
+		fmt.Fprintf(os.Stderr, "experiments: warmup-instrs-simulated=%d checkpoints-captured=%d\n",
+			res.WarmupInstrsSimulated, res.CheckpointsCaptured)
 	}
 
 	if *export != "" {

@@ -34,6 +34,7 @@ func main() {
 		model       = flag.String("model", "spectre", "attack model: spectre or futuristic")
 		instrs      = flag.Uint64("instrs", 60_000, "committed instructions to measure")
 		warmup      = flag.Uint64("warmup", 50_000, "committed instructions of cache warmup")
+		wmode       = flag.String("warmup-mode", "detailed", "warmup mode: detailed (on the pipeline) or functional (emulator fast-forward, exact handoff)")
 		list        = flag.Bool("list", false, "list workloads and variants, then exit")
 		trace       = flag.String("trace", "", "write a cycle-by-cycle event trace to this file ('-' for stderr)")
 		traceFormat = flag.String("trace-format", "text",
@@ -74,9 +75,14 @@ func main() {
 		fatal(fmt.Errorf("unknown attack model %q", *model))
 	}
 
+	wm, err := core.ParseWarmupMode(*wmode)
+	if err != nil {
+		fatal(err)
+	}
+
 	prog, init := wl.Build()
 	machine := core.NewMachine(core.Config{
-		Variant: v, Model: m, WarmupInstrs: *warmup, MaxInstrs: *instrs,
+		Variant: v, Model: m, WarmupInstrs: *warmup, WarmupMode: wm, MaxInstrs: *instrs,
 		IntervalCycles: *interval,
 	}, prog, init)
 

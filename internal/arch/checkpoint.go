@@ -1,0 +1,66 @@
+package arch
+
+import (
+	"encoding/gob"
+	"io"
+
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Checkpoint is a restorable functional-warmup snapshot: the
+// architectural state and memory image at the warmup boundary plus the
+// serialized warm state of the memory hierarchy and branch predictor.
+//
+// A checkpoint is captured once per (workload, warmup budget) and
+// restored into a fresh detailed machine for every variant/model/ablation
+// cell of a sweep. Reuse is sound because Warmup is non-speculative: no
+// field of the snapshot depends on the design variant the measurement
+// window will run (see DESIGN.md, "Functional warmup and checkpoints").
+// Transient timing state (cache banks, MSHRs, the DRAM scheduler queue)
+// is empty at the boundary by construction and is therefore not part of
+// the format.
+type Checkpoint struct {
+	// WarmupInstrs is the budget the checkpoint was captured with (the
+	// executed count is Arch.Instrs, smaller only if the program halted).
+	WarmupInstrs uint64
+	Arch         State
+	Mem          map[uint64][]byte // page image (isa.Memory.Image)
+	Hier         mem.HierState
+	BP           bpred.State
+}
+
+// Capture builds fresh memory/hierarchy/predictor state for prog, runs
+// functional warmup, and snapshots the result. init (optional) populates
+// the initial memory image.
+func Capture(p *isa.Program, init func(*isa.Memory), memCfg mem.Config, bpCfg bpred.Config, codeBase uint64, warmupInstrs uint64) *Checkpoint {
+	data := isa.NewMemory()
+	if init != nil {
+		init(data)
+	}
+	hier := mem.NewHierarchy(memCfg)
+	bp := bpred.New(bpCfg)
+	st := Warmup(p, data, hier, bp, codeBase, warmupInstrs)
+	return &Checkpoint{
+		WarmupInstrs: warmupInstrs,
+		Arch:         st,
+		Mem:          data.Image(),
+		Hier:         hier.State(),
+		BP:           bp.State(),
+	}
+}
+
+// Encode writes the checkpoint in its serialized (gob) form.
+func (c *Checkpoint) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(c)
+}
+
+// Decode reads a checkpoint serialized by Encode.
+func Decode(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

@@ -1,0 +1,101 @@
+package arch_test
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/workload"
+)
+
+// TestDifferentialFunctionalVsDetailed locksteps the functional emulator
+// against the Unsafe detailed pipeline over every workload: after every
+// cycle in which the pipeline commits, the emulator is advanced to the
+// same committed-instruction count and the committed register files must
+// match exactly. Memory images are compared periodically and at the end
+// (a full per-boundary memory diff is prohibitively slow). This is the
+// contract that makes functional warmup a drop-in replacement for
+// detailed warmup's architectural effects.
+func TestDifferentialFunctionalVsDetailed(t *testing.T) {
+	const (
+		budget   = 100_000
+		memEvery = 25_000
+	)
+	wls := workload.All()
+	if testing.Short() {
+		wls = wls[:3]
+	}
+	var storeTotal atomic.Uint64
+	t.Cleanup(func() {
+		if !testing.Short() && storeTotal.Load() == 0 {
+			t.Error("no workload exercised stores; the memory differential is vacuous")
+		}
+	})
+	for _, wl := range wls {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			t.Parallel()
+			prog, init := wl.Build()
+			machine := core.NewMachine(core.Config{
+				Variant:   core.Unsafe,
+				MaxInstrs: budget,
+			}, prog, init)
+			pipe := machine.Core()
+
+			fnMem := isa.NewMemory()
+			if init != nil {
+				init(fnMem)
+			}
+			var fn arch.State
+
+			var nextMemCheck uint64 = memEvery
+			committed := uint64(0)
+			for !pipe.Halted() && committed < budget {
+				if err := pipe.Step(); err != nil {
+					t.Fatal(err)
+				}
+				now := pipe.Stats().Committed
+				if now == committed {
+					continue
+				}
+				for fn.Instrs < now && !fn.Halted {
+					fn.Step(prog, fnMem)
+				}
+				committed = now
+				if fn.Instrs != committed {
+					t.Fatalf("emulator executed %d instructions at pipeline boundary %d (halted=%v)",
+						fn.Instrs, committed, fn.Halted)
+				}
+				if pipe.Regs() != fn.Regs {
+					t.Fatalf("committed registers diverge at instruction %d:\npipeline %v\nemulator %v",
+						committed, pipe.Regs(), fn.Regs)
+				}
+				if committed >= nextMemCheck {
+					nextMemCheck += memEvery
+					if !reflect.DeepEqual(machine.Memory().Image(), fnMem.Image()) {
+						t.Fatalf("committed memory diverges at instruction %d", committed)
+					}
+				}
+			}
+			if committed == 0 {
+				t.Fatal("pipeline committed nothing")
+			}
+			if pipe.Halted() != fn.Halted {
+				t.Fatalf("halt state diverges: pipeline %v, emulator %v", pipe.Halted(), fn.Halted)
+			}
+			if !reflect.DeepEqual(machine.Memory().Image(), fnMem.Image()) {
+				t.Fatal("final committed memory diverges")
+			}
+			// Stores are rare in the read-dominated kernels; coverage for
+			// them is asserted suite-wide above.
+			storeTotal.Add(fn.Stores)
+			if fn.Loads == 0 || fn.Branches == 0 {
+				t.Errorf("kernel exercised loads=%d branches=%d; differential coverage is weak",
+					fn.Loads, fn.Branches)
+			}
+		})
+	}
+}

@@ -8,6 +8,8 @@
 // calls for tainted branches until their predicate is untainted.
 package bpred
 
+import "fmt"
+
 // Config sizes the predictor tables. All counts must be powers of two.
 type Config struct {
 	LocalHistoryEntries int // per-PC history registers
@@ -194,4 +196,67 @@ func b2u(b bool) uint64 {
 		return 1
 	}
 	return 0
+}
+
+// BTBEntryState is one serializable BTB entry.
+type BTBEntryState struct {
+	Valid  bool
+	PC     uint64
+	Target int
+}
+
+// State is the predictor's full serializable state: every table, the
+// speculative global history, and the stat counters. It is what warmup
+// checkpoints (internal/arch) capture and restore, so a restored
+// predictor is indistinguishable from one trained in place.
+type State struct {
+	LocalHistory  []uint64
+	LocalCounters []uint8
+	GlobalCounts  []uint8
+	ChoiceCounts  []uint8
+	GlobalHistory uint64
+	BTB           []BTBEntryState
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// State snapshots the predictor.
+func (p *Predictor) State() State {
+	s := State{
+		LocalHistory:  append([]uint64(nil), p.localHistory...),
+		LocalCounters: append([]uint8(nil), p.localCounters...),
+		GlobalCounts:  append([]uint8(nil), p.globalCounts...),
+		ChoiceCounts:  append([]uint8(nil), p.choiceCounts...),
+		GlobalHistory: p.globalHistory,
+		BTB:           make([]BTBEntryState, len(p.btb)),
+		Lookups:       p.Lookups,
+		Mispredicts:   p.Mispredicts,
+	}
+	for i, e := range p.btb {
+		s.BTB[i] = BTBEntryState{Valid: e.valid, PC: e.pc, Target: e.target}
+	}
+	return s
+}
+
+// SetState restores a snapshot taken from a predictor of identical
+// configuration.
+func (p *Predictor) SetState(s State) error {
+	if len(s.LocalHistory) != len(p.localHistory) ||
+		len(s.LocalCounters) != len(p.localCounters) ||
+		len(s.GlobalCounts) != len(p.globalCounts) ||
+		len(s.ChoiceCounts) != len(p.choiceCounts) ||
+		len(s.BTB) != len(p.btb) {
+		return fmt.Errorf("bpred: state table sizes do not match the predictor's configuration")
+	}
+	copy(p.localHistory, s.LocalHistory)
+	copy(p.localCounters, s.LocalCounters)
+	copy(p.globalCounts, s.GlobalCounts)
+	copy(p.choiceCounts, s.ChoiceCounts)
+	p.globalHistory = s.GlobalHistory
+	for i, e := range s.BTB {
+		p.btb[i] = btbEntry{valid: e.Valid, pc: e.PC, target: e.Target}
+	}
+	p.Lookups, p.Mispredicts = s.Lookups, s.Mispredicts
+	return nil
 }

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/arch"
 	"repro/internal/coherence"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -125,6 +126,50 @@ func ParseVariant(s string) (Variant, error) {
 	return 0, fmt.Errorf("core: unknown variant %q", s)
 }
 
+// WarmupMode selects how Config.WarmupInstrs are executed.
+type WarmupMode int
+
+const (
+	// WarmupDetailed runs warmup on the detailed pipeline (the default,
+	// and the legacy behaviour the golden exports were produced with):
+	// warm microarchitectural state reflects the variant's own
+	// speculative execution, and warmup can overshoot WarmupInstrs by up
+	// to the commit width.
+	WarmupDetailed WarmupMode = iota
+	// WarmupFunctional runs warmup on the functional emulator
+	// (internal/arch), touch-warming caches, TLB and branch predictor
+	// non-speculatively — the paper artifact's SimPoint-style functional
+	// fast-forward. The handoff is exact (warmup executes exactly
+	// WarmupInstrs instructions unless the program halts first), the
+	// measurement window starts at cycle 0, and the warm state is
+	// independent of variant/model/ablation — which is what makes one
+	// warmup Checkpoint reusable across a whole sweep grid.
+	WarmupFunctional
+)
+
+// String names the mode as ParseWarmupMode accepts it.
+func (m WarmupMode) String() string {
+	switch m {
+	case WarmupDetailed:
+		return "detailed"
+	case WarmupFunctional:
+		return "functional"
+	}
+	return fmt.Sprintf("WarmupMode(%d)", int(m))
+}
+
+// ParseWarmupMode maps a flag/request string to a WarmupMode. The empty
+// string means the default (detailed).
+func ParseWarmupMode(s string) (WarmupMode, error) {
+	switch s {
+	case "", "detailed":
+		return WarmupDetailed, nil
+	case "functional":
+		return WarmupFunctional, nil
+	}
+	return 0, fmt.Errorf("core: unknown warmup mode %q (want detailed or functional)", s)
+}
+
 // Ablation toggles individual SDO/STT mechanisms for design-space studies
 // (all false reproduces the paper's STT+SDO).
 type Ablation struct {
@@ -150,6 +195,8 @@ type Config struct {
 	// SimPoint-style methodology of §VIII-A. Warmup activity is excluded
 	// from the returned Result.
 	WarmupInstrs uint64
+	// WarmupMode selects detailed (default) or functional warmup.
+	WarmupMode WarmupMode
 	// MaxInstrs bounds committed instructions in the measurement window
 	// (0: run to halt).
 	MaxInstrs uint64
@@ -168,11 +215,13 @@ type Config struct {
 
 // Machine is a single-core simulated system ready to Run.
 type Machine struct {
-	cfg  Config
-	core *pipeline.Core
-	hier *mem.Hierarchy
-	data *isa.Memory
-	prog *isa.Program
+	cfg    Config
+	pcfg   pipeline.Config
+	core   *pipeline.Core
+	hier   *mem.Hierarchy
+	data   *isa.Memory
+	prog   *isa.Program
+	warmed bool // functional warmup already applied (in place or restored)
 }
 
 // pipelineConfig translates a Variant into pipeline settings.
@@ -187,8 +236,11 @@ func pipelineConfig(cfg Config, probe func(uint64) mem.Level) pipeline.Config {
 	pc.NoImplicitChannelProtection = cfg.Ablate.NoImplicitChannelProtection
 	pc.OblDRAMVariant = cfg.Ablate.OblDRAMVariant
 	pc.MaxInstrs = cfg.MaxInstrs
-	if cfg.MaxInstrs > 0 {
-		pc.MaxInstrs += cfg.WarmupInstrs // the budget is the measurement window
+	if cfg.MaxInstrs > 0 && cfg.WarmupMode == WarmupDetailed {
+		// The budget is the measurement window; detailed warmup commits
+		// on the same pipeline, so it is added here. Functional warmup
+		// happens outside the pipeline and leaves the budget alone.
+		pc.MaxInstrs += cfg.WarmupInstrs
 	}
 	pc.MaxCycles = cfg.MaxCycles
 	switch cfg.Variant {
@@ -237,11 +289,56 @@ func NewMachine(cfg Config, prog *isa.Program, init func(*isa.Memory)) *Machine 
 	pc := pipelineConfig(cfg, hier.Probe)
 	return &Machine{
 		cfg:  cfg,
+		pcfg: pc,
 		core: pipeline.New(pc, prog, data, hier),
 		hier: hier,
 		data: data,
 		prog: prog,
 	}
+}
+
+// CaptureCheckpoint runs functional warmup for prog/init under cfg's
+// memory and pipeline geometry and snapshots the result. Only
+// WarmupInstrs, Mem and Pipe are consulted: the checkpoint is independent
+// of Variant, Model and Ablate by construction, which is what makes it
+// reusable across every cell of a sweep grid.
+func CaptureCheckpoint(cfg Config, prog *isa.Program, init func(*isa.Memory)) *arch.Checkpoint {
+	mc := mem.DefaultConfig()
+	if cfg.Mem != nil {
+		mc = *cfg.Mem
+	}
+	pc := pipeline.DefaultConfig()
+	if cfg.Pipe != nil {
+		pc = *cfg.Pipe
+	}
+	return arch.Capture(prog, init, mc, pc.BP, pc.CodeBase, cfg.WarmupInstrs)
+}
+
+// Restore loads a functional-warmup checkpoint into the machine before
+// Run: the architectural memory image and registers, the warmed memory
+// hierarchy and branch predictor state, and the fetch PC. The machine
+// must be configured with WarmupFunctional and the WarmupInstrs the
+// checkpoint was captured with; Run then goes straight to the
+// measurement window. Restoring is bit-for-bit equivalent to performing
+// the functional warmup in place (asserted by TestRestoreEquivalence).
+func (m *Machine) Restore(ck *arch.Checkpoint) error {
+	if m.cfg.WarmupMode != WarmupFunctional {
+		return fmt.Errorf("core: Restore requires WarmupMode == WarmupFunctional")
+	}
+	if ck.WarmupInstrs != m.cfg.WarmupInstrs {
+		return fmt.Errorf("core: checkpoint captured with warmup %d, machine configured with %d",
+			ck.WarmupInstrs, m.cfg.WarmupInstrs)
+	}
+	m.data.SetImage(ck.Mem)
+	if err := m.hier.SetState(ck.Hier); err != nil {
+		return err
+	}
+	if err := m.core.Predictor().SetState(ck.BP); err != nil {
+		return err
+	}
+	m.core.RestoreArch(ck.Arch.Regs, ck.Arch.PC, ck.Arch.Halted)
+	m.warmed = true
+	return nil
 }
 
 // Memory returns the machine's architectural memory.
@@ -292,13 +389,23 @@ type Result struct {
 func (m *Machine) Run() (Result, error) {
 	var base pipeline.Stats
 	var err error
-	if m.cfg.WarmupInstrs > 0 {
-		for !m.core.Halted() && m.core.Stats().Committed < m.cfg.WarmupInstrs {
-			if err = m.core.Step(); err != nil {
-				return Result{Variant: m.cfg.Variant, Model: m.cfg.Model}, err
+	if m.cfg.WarmupInstrs > 0 && !m.warmed {
+		switch m.cfg.WarmupMode {
+		case WarmupFunctional:
+			// Warm in place with the functional emulator. This is the
+			// same code path Restore replays from a checkpoint, so a
+			// restored machine and a self-warmed one are bit-identical.
+			st := arch.Warmup(m.prog, m.data, m.hier, m.core.Predictor(), m.pcfg.CodeBase, m.cfg.WarmupInstrs)
+			m.core.RestoreArch(st.Regs, st.PC, st.Halted)
+			m.warmed = true
+		default:
+			for !m.core.Halted() && m.core.Stats().Committed < m.cfg.WarmupInstrs {
+				if err = m.core.Step(); err != nil {
+					return Result{Variant: m.cfg.Variant, Model: m.cfg.Model}, err
+				}
 			}
+			base = m.core.Stats()
 		}
-		base = m.core.Stats()
 	}
 	var ic *intervalCollector
 	if m.cfg.IntervalCycles > 0 {

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
@@ -25,6 +26,16 @@ import (
 type Options struct {
 	// WarmupInstrs warms caches/TLB/predictors before measurement.
 	WarmupInstrs uint64
+	// WarmupMode selects detailed (default) or functional warmup. With
+	// functional warmup the sweep captures one warmup checkpoint per
+	// workload and restores it for every (variant, model) cell instead of
+	// re-simulating warmup per cell (see NoCheckpointReuse).
+	WarmupMode core.WarmupMode
+	// NoCheckpointReuse forces functional warmup to run in place for every
+	// cell instead of restoring the per-workload checkpoint. Results are
+	// bit-identical either way (the CI smoke asserts it); the switch exists
+	// to measure and test exactly that.
+	NoCheckpointReuse bool
 	// MaxInstrs is the committed-instruction budget per measured run. The
 	// sum of warmup and measurement must stay below every kernel's natural
 	// dynamic length.
@@ -111,21 +122,75 @@ func (o Options) Cells() []Key {
 type Results struct {
 	Opt  Options
 	Runs map[Key]core.Result
+
+	// WarmupInstrsSimulated counts warmup instructions actually simulated
+	// across the sweep (nominal budget per warmed cell, actual executed
+	// count per checkpoint capture). With checkpoint reuse a sweep warms
+	// once per workload instead of once per cell, so this counter is what
+	// the CI speedup smoke compares. Deliberately not part of the JSON
+	// Export: reuse on/off exports must stay byte-identical.
+	WarmupInstrsSimulated uint64
+	// CheckpointsCaptured counts per-workload warmup checkpoints captured
+	// (0 unless functional warmup with checkpoint reuse ran).
+	CheckpointsCaptured int
+}
+
+// RunParams carries the per-run bounds and warmup policy of a cell —
+// everything RunOne needs beyond the cell's identity.
+type RunParams struct {
+	WarmupInstrs   uint64
+	MaxInstrs      uint64
+	IntervalCycles uint64
+	WarmupMode     core.WarmupMode
+	// Checkpoint, when non-nil, is a pre-captured functional-warmup
+	// snapshot restored instead of re-running warmup (requires
+	// WarmupFunctional and a matching WarmupInstrs).
+	Checkpoint *arch.Checkpoint
+}
+
+// Params returns the per-run parameters the options imply (without a
+// checkpoint; RunContext fills that in per workload when reuse is on).
+func (o Options) Params() RunParams {
+	return RunParams{
+		WarmupInstrs:   o.WarmupInstrs,
+		MaxInstrs:      o.MaxInstrs,
+		IntervalCycles: o.IntervalCycles,
+		WarmupMode:     o.WarmupMode,
+	}
+}
+
+// reuseCheckpoints reports whether the sweep warms via per-workload
+// checkpoints.
+func (o Options) reuseCheckpoints() bool {
+	return o.WarmupMode == core.WarmupFunctional && !o.NoCheckpointReuse && o.WarmupInstrs > 0
+}
+
+// CaptureCheckpoint runs functional warmup for one workload and snapshots
+// the result for reuse across every cell that shares (workload, warmup).
+func CaptureCheckpoint(wl workload.Workload, warmup uint64) *arch.Checkpoint {
+	prog, init := wl.Build()
+	return core.CaptureCheckpoint(core.Config{WarmupInstrs: warmup}, prog, init)
 }
 
 // RunOne executes a single simulation cell: one workload under one design
 // variant and attack model. This is the single execution path shared by
 // the CLI sweep, the ablation study and the simulation service.
-func RunOne(wl workload.Workload, v core.Variant, m pipeline.AttackModel, ab core.Ablation, warmup, maxInstrs, intervalCycles uint64) (core.Result, error) {
+func RunOne(wl workload.Workload, v core.Variant, m pipeline.AttackModel, ab core.Ablation, p RunParams) (core.Result, error) {
 	prog, init := wl.Build()
 	machine := core.NewMachine(core.Config{
 		Variant:        v,
 		Model:          m,
 		Ablate:         ab,
-		WarmupInstrs:   warmup,
-		MaxInstrs:      maxInstrs,
-		IntervalCycles: intervalCycles,
+		WarmupInstrs:   p.WarmupInstrs,
+		WarmupMode:     p.WarmupMode,
+		MaxInstrs:      p.MaxInstrs,
+		IntervalCycles: p.IntervalCycles,
 	}, prog, init)
+	if p.Checkpoint != nil {
+		if err := machine.Restore(p.Checkpoint); err != nil {
+			return core.Result{}, err
+		}
+	}
 	return machine.Run()
 }
 
@@ -153,16 +218,41 @@ func RunContext(ctx context.Context, opt Options) (*Results, error) {
 	}
 	cells := opt.Cells()
 
+	// With functional warmup, capture one checkpoint per workload up front
+	// and restore it into every (variant, model) cell: the grid then warms
+	// each workload once instead of len(variants)×len(models) times.
+	checkpoints := make(map[string]*arch.Checkpoint)
+	if opt.reuseCheckpoints() {
+		var cmu sync.Mutex
+		if err := RunPool(ctx, opt.Workers(), len(opt.Workloads), func(ctx context.Context, i int) error {
+			wl := opt.Workloads[i]
+			ck := CaptureCheckpoint(wl, opt.WarmupInstrs)
+			cmu.Lock()
+			defer cmu.Unlock()
+			checkpoints[wl.Name] = ck
+			res.CheckpointsCaptured++
+			res.WarmupInstrsSimulated += ck.Arch.Instrs
+			return nil
+		}); err != nil {
+			return res, err
+		}
+	}
+
 	var mu sync.Mutex
 	err := RunPool(ctx, opt.Workers(), len(cells), func(ctx context.Context, i int) error {
 		k := cells[i]
-		r, err := RunOne(byName[k.Workload], k.Variant, k.Model, core.Ablation{}, opt.WarmupInstrs, opt.MaxInstrs, opt.IntervalCycles)
+		p := opt.Params()
+		p.Checkpoint = checkpoints[k.Workload]
+		r, err := RunOne(byName[k.Workload], k.Variant, k.Model, core.Ablation{}, p)
 		if err != nil {
 			return fmt.Errorf("harness: %s/%v/%v: %w", k.Workload, k.Variant, k.Model, err)
 		}
 		mu.Lock()
 		defer mu.Unlock()
 		res.Runs[k] = r
+		if p.Checkpoint == nil && opt.WarmupInstrs > 0 {
+			res.WarmupInstrsSimulated += opt.WarmupInstrs
+		}
 		if opt.Progress != nil {
 			opt.Progress(FormatProgress(k, r))
 		}
@@ -340,63 +430,102 @@ func (r *Results) BreakdownFor(v core.Variant, m pipeline.AttackModel) Breakdown
 // AblationRow is one row of the design-space study: the paper's full
 // STT+SDO with one mechanism changed.
 type AblationRow struct {
-	Name     string
-	Ablate   core.Ablation
-	NormTime float64 // vs Unsafe, averaged over the sweep's workloads
+	Name     string        `json:"name"`
+	Ablate   core.Ablation `json:"ablate"`
+	NormTime float64       `json:"norm_time"` // vs Unsafe, averaged over the sweep's workloads
 }
 
-// RunAblations measures the contribution of individual SDO/STT mechanisms
-// on the Hybrid configuration: the §V-C2 early-forwarding optimisation,
-// InvisiSpec exposures, STT's implicit-channel rules, and the DO DRAM
-// variant the paper declines to build (§VI-B2).
-func RunAblations(opt Options, model pipeline.AttackModel) ([]AblationRow, error) {
-	if opt.MaxInstrs == 0 {
-		opt.MaxInstrs = DefaultOptions().MaxInstrs
-	}
-	if opt.Workloads == nil {
-		opt.Workloads = workload.All()
-	}
-	rows := []AblationRow{
+// AblationRows returns the design-space study's row templates in report
+// order (NormTime unset): the paper's full STT+SDO and one-mechanism-off
+// variations of it. Shared by RunAblations and the simulation service's
+// cell enumeration.
+func AblationRows() []AblationRow {
+	return []AblationRow{
 		{Name: "STT+SDO (paper)"},
 		{Name: "no early forwarding", Ablate: core.Ablation{DisableEarlyForward: true}},
 		{Name: "no exposures (always validate)", Ablate: core.Ablation{AlwaysValidate: true}},
 		{Name: "no implicit-channel protection (INSECURE)", Ablate: core.Ablation{NoImplicitChannelProtection: true}},
 		{Name: "with DO DRAM variant", Ablate: core.Ablation{OblDRAMVariant: true}},
 	}
+}
+
+// AggregateAblations fills in each row's NormTime from per-(workload, row)
+// cycle counts: cycles[wi][0] is workload wi's Unsafe baseline and
+// cycles[wi][1+ri] the Hybrid run with rows[ri].Ablate. A workload with a
+// zero baseline is skipped. Shared by RunAblations and the service's
+// ablation-export path.
+func AggregateAblations(rows []AblationRow, cycles [][]uint64) {
 	sums := make([]float64, len(rows))
 	counts := make([]int, len(rows))
-	var mu sync.Mutex
-	err := RunPool(context.Background(), opt.Workers(), len(opt.Workloads), func(ctx context.Context, wi int) error {
+	for _, wc := range cycles {
+		if len(wc) != len(rows)+1 || wc[0] == 0 {
+			continue
+		}
+		for ri := range rows {
+			sums[ri] += float64(wc[1+ri]) / float64(wc[0])
+			counts[ri]++
+		}
+	}
+	for i := range rows {
+		rows[i].NormTime = 0
+		if counts[i] > 0 {
+			rows[i].NormTime = sums[i] / float64(counts[i])
+		}
+	}
+}
+
+// RunAblations measures the contribution of individual SDO/STT mechanisms
+// on the Hybrid configuration: the §V-C2 early-forwarding optimisation,
+// InvisiSpec exposures, STT's implicit-channel rules, and the DO DRAM
+// variant the paper declines to build (§VI-B2). Functional warmup with
+// checkpoint reuse warms each workload once and shares the snapshot
+// across the baseline and every ablation cell — sound because ablations
+// only alter speculative execution, which functional warmup has none of.
+func RunAblations(opt Options, model pipeline.AttackModel) ([]AblationRow, error) {
+	return RunAblationsContext(context.Background(), opt, model)
+}
+
+// RunAblationsContext is RunAblations with cancellation.
+func RunAblationsContext(ctx context.Context, opt Options, model pipeline.AttackModel) ([]AblationRow, error) {
+	if opt.MaxInstrs == 0 {
+		opt.MaxInstrs = DefaultOptions().MaxInstrs
+	}
+	if opt.Workloads == nil {
+		opt.Workloads = workload.All()
+	}
+	rows := AblationRows()
+	cycles := make([][]uint64, len(opt.Workloads))
+	err := RunPool(ctx, opt.Workers(), len(opt.Workloads), func(ctx context.Context, wi int) error {
 		wl := opt.Workloads[wi]
-		base, err := RunOne(wl, core.Unsafe, model, core.Ablation{}, opt.WarmupInstrs, opt.MaxInstrs, 0)
+		p := opt.Params()
+		p.IntervalCycles = 0
+		if opt.reuseCheckpoints() {
+			p.Checkpoint = CaptureCheckpoint(wl, opt.WarmupInstrs)
+		}
+		wc := make([]uint64, 1+len(rows))
+		base, err := RunOne(wl, core.Unsafe, model, core.Ablation{}, p)
 		if err != nil {
 			return err
 		}
-		if base.Cycles == 0 {
-			return nil
-		}
-		for ri := range rows {
-			if ctx.Err() != nil {
-				return ctx.Err()
+		wc[0] = base.Cycles
+		if base.Cycles != 0 {
+			for ri := range rows {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				r, err := RunOne(wl, core.Hybrid, model, rows[ri].Ablate, p)
+				if err != nil {
+					return err
+				}
+				wc[1+ri] = r.Cycles
 			}
-			r, err := RunOne(wl, core.Hybrid, model, rows[ri].Ablate, opt.WarmupInstrs, opt.MaxInstrs, 0)
-			if err != nil {
-				return err
-			}
-			mu.Lock()
-			sums[ri] += float64(r.Cycles) / float64(base.Cycles)
-			counts[ri]++
-			mu.Unlock()
 		}
+		cycles[wi] = wc
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for i := range rows {
-		if counts[i] > 0 {
-			rows[i].NormTime = sums[i] / float64(counts[i])
-		}
-	}
+	AggregateAblations(rows, cycles)
 	return rows, nil
 }

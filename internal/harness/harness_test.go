@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -40,13 +41,125 @@ func TestSweepCompleteness(t *testing.T) {
 		t.Fatalf("sweep produced %d runs, want %d", len(res.Runs), want)
 	}
 	for k, r := range res.Runs {
-		// Warmup can overshoot its boundary by up to the commit width, so
-		// the measured window may be short by as much.
+		// Detailed warmup can overshoot its boundary by up to the commit
+		// width, so the measured window may be short by as much. (With
+		// WarmupFunctional the handoff is exact and the window is never
+		// short — TestFunctionalSweepExactWindow asserts that.)
 		if r.Committed < res.Opt.MaxInstrs-8 {
 			t.Errorf("%v: committed %d < budget %d", k, r.Committed, res.Opt.MaxInstrs)
 		}
 		if r.Cycles == 0 {
 			t.Errorf("%v: zero cycles", k)
+		}
+	}
+}
+
+// smallFunctionalOptions is a reduced functional-warmup sweep grid.
+func smallFunctionalOptions(t *testing.T) Options {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.WarmupInstrs = 10_000
+	opt.MaxInstrs = 8_000
+	opt.WarmupMode = core.WarmupFunctional
+	var wls []workload.Workload
+	for _, name := range []string{"mcf_r", "x264_r"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wls = append(wls, w)
+	}
+	opt.Workloads = wls
+	return opt
+}
+
+func TestFunctionalSweepExactWindow(t *testing.T) {
+	// With functional warmup the handoff is exact: warmup executes exactly
+	// WarmupInstrs, so the measurement window is never short — every run
+	// commits at least the full budget (no commit-width slack).
+	opt := smallFunctionalOptions(t)
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(opt.Workloads) * len(opt.Variants) * len(opt.Models); len(res.Runs) != want {
+		t.Fatalf("sweep produced %d runs, want %d", len(res.Runs), want)
+	}
+	for k, r := range res.Runs {
+		if r.Committed < opt.MaxInstrs {
+			t.Errorf("%v: committed %d < budget %d", k, r.Committed, opt.MaxInstrs)
+		}
+	}
+	// Checkpoint accounting: one capture per workload, warmup simulated
+	// exactly once per workload.
+	if res.CheckpointsCaptured != len(opt.Workloads) {
+		t.Errorf("captured %d checkpoints, want %d", res.CheckpointsCaptured, len(opt.Workloads))
+	}
+	if want := uint64(len(opt.Workloads)) * opt.WarmupInstrs; res.WarmupInstrsSimulated != want {
+		t.Errorf("simulated %d warmup instructions, want exactly %d", res.WarmupInstrsSimulated, want)
+	}
+}
+
+func TestCheckpointReuseBitIdentical(t *testing.T) {
+	// The sweep's headline contract: restoring per-workload checkpoints
+	// must produce bit-identical results to re-running functional warmup
+	// in every cell — while simulating far fewer warmup instructions.
+	opt := smallFunctionalOptions(t)
+	reuse, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.NoCheckpointReuse = true
+	noReuse, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reuse.Runs) != len(noReuse.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(reuse.Runs), len(noReuse.Runs))
+	}
+	for k, a := range reuse.Runs {
+		b, ok := noReuse.Runs[k]
+		if !ok {
+			t.Fatalf("missing run %v", k)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: checkpoint reuse changed the result:\nreuse    %+v\nno-reuse %+v", k, a, b)
+		}
+	}
+	cells := uint64(len(opt.Cells()))
+	if want := cells * opt.WarmupInstrs; noReuse.WarmupInstrsSimulated != want {
+		t.Errorf("no-reuse simulated %d warmup instructions, want %d", noReuse.WarmupInstrsSimulated, want)
+	}
+	if reuse.WarmupInstrsSimulated >= noReuse.WarmupInstrsSimulated {
+		t.Errorf("reuse simulated %d warmup instructions, no-reuse %d: no savings",
+			reuse.WarmupInstrsSimulated, noReuse.WarmupInstrsSimulated)
+	}
+	if noReuse.CheckpointsCaptured != 0 {
+		t.Errorf("no-reuse captured %d checkpoints", noReuse.CheckpointsCaptured)
+	}
+}
+
+func TestAblationCheckpointReuse(t *testing.T) {
+	// Ablation cells share the workload checkpoint (ablations only alter
+	// speculative execution, which functional warmup has none of), so
+	// reuse on/off must agree exactly here too.
+	opt := smallFunctionalOptions(t)
+	opt.Workloads = opt.Workloads[:1]
+	reuse, err := RunAblations(opt, pipeline.Spectre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.NoCheckpointReuse = true
+	noReuse, err := RunAblations(opt, pipeline.Spectre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reuse, noReuse) {
+		t.Fatalf("ablation rows differ:\nreuse    %+v\nno-reuse %+v", reuse, noReuse)
+	}
+	for _, r := range reuse {
+		if r.NormTime <= 0 {
+			t.Fatalf("%s: no measurement", r.Name)
 		}
 	}
 }

@@ -1,9 +1,6 @@
 package isa
 
-import (
-	"errors"
-	"math"
-)
+import "math"
 
 // IsSubnormalBits reports whether bits encodes a subnormal (denormal)
 // float64: zero exponent with a non-zero mantissa. Subnormal operands and
@@ -111,71 +108,23 @@ func BranchTaken(op Op, rs, rt uint64) bool {
 	return false
 }
 
-// ExecResult summarises a functional execution.
-type ExecResult struct {
-	Regs      [NumRegs]uint64
-	Instrs    uint64 // dynamic instructions executed (including the halt)
-	Halted    bool   // false if the step budget ran out first
-	LoadCount uint64
-	StoreCount,
-	BranchCount uint64
+// LoadValue reads the architectural value a load of the given opcode
+// returns from addr. Like EvalALU/BranchTaken this is the single
+// definition of the opcode's memory semantics, shared by the cycle-level
+// pipeline and the functional emulator (internal/arch).
+func LoadValue(m *Memory, op Op, addr uint64) uint64 {
+	if op == OpLoadB {
+		return uint64(m.Read8(addr))
+	}
+	return m.Read64(addr)
 }
 
-// ErrStepBudget is returned by Exec when the program did not halt within
-// the given number of dynamic instructions.
-var ErrStepBudget = errors.New("isa: step budget exhausted before halt")
-
-// Exec runs the program on the golden functional model: in-order,
-// one-instruction-at-a-time, no speculation, no timing. It mutates mem and
-// returns the final architectural registers. regs gives initial register
-// values (may be nil for all-zero). OpRdCyc yields the dynamic instruction
-// count, which is the functional model's only notion of time.
-//
-// Exec is the reference against which every cycle-level configuration is
-// differentially tested: a correct defense changes timing, never
-// architectural results.
-func Exec(p *Program, mem *Memory, regs *[NumRegs]uint64, maxInstrs uint64) (ExecResult, error) {
-	var r ExecResult
-	if regs != nil {
-		r.Regs = *regs
+// StoreValue applies the architectural effect of a store of the given
+// opcode: val's low byte for OpStoreB, the full word otherwise.
+func StoreValue(m *Memory, op Op, addr, val uint64) {
+	if op == OpStoreB {
+		m.Write8(addr, byte(val))
+		return
 	}
-	pc := 0
-	for r.Instrs < maxInstrs {
-		in := p.At(pc)
-		r.Instrs++
-		switch {
-		case in.Op == OpHalt:
-			r.Halted = true
-			return r, nil
-		case in.Op == OpNop || in.Op == OpFlush:
-			pc++
-		case in.Op.IsBranch():
-			r.BranchCount++
-			if BranchTaken(in.Op, r.Regs[in.Rs], r.Regs[in.Rt]) {
-				pc = in.Target
-			} else {
-				pc++
-			}
-		case in.Op == OpLoad:
-			r.LoadCount++
-			r.Regs[in.Rd] = mem.Read64(r.Regs[in.Rs] + uint64(in.Imm))
-			pc++
-		case in.Op == OpLoadB:
-			r.LoadCount++
-			r.Regs[in.Rd] = uint64(mem.Read8(r.Regs[in.Rs] + uint64(in.Imm)))
-			pc++
-		case in.Op == OpStore:
-			r.StoreCount++
-			mem.Write64(r.Regs[in.Rs]+uint64(in.Imm), r.Regs[in.Rt])
-			pc++
-		case in.Op == OpStoreB:
-			r.StoreCount++
-			mem.Write8(r.Regs[in.Rs]+uint64(in.Imm), byte(r.Regs[in.Rt]))
-			pc++
-		default:
-			r.Regs[in.Rd] = EvalALU(in, r.Regs[in.Rs], r.Regs[in.Rt], r.Instrs)
-			pc++
-		}
-	}
-	return r, ErrStepBudget
+	m.Write64(addr, val)
 }

@@ -207,67 +207,6 @@ func TestProgramAtOutOfRangeHalts(t *testing.T) {
 	}
 }
 
-func TestExecLoopSum(t *testing.T) {
-	// Sum 1..100 into R3.
-	p := NewBuilder().
-		MovI(R1, 1).
-		MovI(R2, 101).
-		MovI(R3, 0).
-		Label("loop").
-		Add(R3, R3, R1).
-		AddI(R1, R1, 1).
-		Blt(R1, R2, "loop").
-		Halt().
-		MustBuild()
-	res, err := Exec(p, NewMemory(), nil, 1_000_000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.Halted {
-		t.Fatal("program should halt")
-	}
-	if res.Regs[R3] != 5050 {
-		t.Fatalf("sum = %d, want 5050", res.Regs[R3])
-	}
-	if res.BranchCount != 100 {
-		t.Fatalf("branches = %d, want 100", res.BranchCount)
-	}
-}
-
-func TestExecMemoryOps(t *testing.T) {
-	p := NewBuilder().
-		MovI(R1, 0x2000).
-		MovI(R2, 42).
-		Store(R2, R1, 0).
-		Load(R3, R1, 0).
-		StoreB(R2, R1, 100).
-		LoadB(R4, R1, 100).
-		Halt().
-		MustBuild()
-	mem := NewMemory()
-	res, err := Exec(p, mem, nil, 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Regs[R3] != 42 || res.Regs[R4] != 42 {
-		t.Fatalf("R3=%d R4=%d, want 42/42", res.Regs[R3], res.Regs[R4])
-	}
-	if res.LoadCount != 2 || res.StoreCount != 2 {
-		t.Fatalf("loads=%d stores=%d", res.LoadCount, res.StoreCount)
-	}
-	if mem.Read64(0x2000) != 42 {
-		t.Fatal("store not visible in memory")
-	}
-}
-
-func TestExecStepBudget(t *testing.T) {
-	p := NewBuilder().Label("spin").Jmp("spin").MustBuild()
-	_, err := Exec(p, NewMemory(), nil, 1000)
-	if err != ErrStepBudget {
-		t.Fatalf("err = %v, want ErrStepBudget", err)
-	}
-}
-
 func TestEvalALUDivByZero(t *testing.T) {
 	if got := EvalALU(Instr{Op: OpDiv}, 10, 0, 0); got != 0 {
 		t.Fatalf("div by zero = %d, want 0", got)
@@ -373,30 +312,6 @@ func TestInstrString(t *testing.T) {
 	}
 }
 
-func TestExecRdCycIsInstrCount(t *testing.T) {
-	p := NewBuilder().Nop().Nop().RdCyc(R5).Halt().MustBuild()
-	res, err := Exec(p, NewMemory(), nil, 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Regs[R5] != 3 {
-		t.Fatalf("rdcyc = %d, want 3", res.Regs[R5])
-	}
-}
-
-func TestExecInitialRegs(t *testing.T) {
-	var regs [NumRegs]uint64
-	regs[R1] = 99
-	p := NewBuilder().AddI(R2, R1, 1).Halt().MustBuild()
-	res, err := Exec(p, NewMemory(), &regs, 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Regs[R2] != 100 {
-		t.Fatalf("R2 = %d, want 100", res.Regs[R2])
-	}
-}
-
 func TestEvalALUAlgebraicProperties(t *testing.T) {
 	// Property checks over the shared ALU evaluator.
 	add := func(a, b uint64) bool {
@@ -452,52 +367,6 @@ func TestEvalALUFtoIClamps(t *testing.T) {
 	negHuge := math.Float64bits(-1e300)
 	if got := EvalALU(Instr{Op: OpFtoI}, negHuge, 0, 0); got != uint64(1)<<63 {
 		t.Fatalf("ftoi(-1e300) = %#x, want MinInt64", got)
-	}
-}
-
-func TestBuilderEveryOpChains(t *testing.T) {
-	// Exercise the full builder surface in one program and verify it
-	// assembles, validates and runs.
-	p := NewBuilder().
-		Nop().
-		MovI(R1, 10).
-		MovI(R2, 3).
-		AddI(R3, R1, 1).
-		Add(R3, R3, R2).
-		Sub(R4, R3, R2).
-		Mul(R5, R4, R2).
-		Div(R6, R5, R2).
-		And(R7, R6, R1).
-		Or(R8, R7, R2).
-		Xor(R9, R8, R1).
-		Shl(R10, R9, R2).
-		Shr(R11, R10, R2).
-		ItoF(R12, R11).
-		ItoF(R13, R2).
-		FAdd(R14, R12, R13).
-		FSub(R15, R14, R13).
-		FMul(R16, R15, R13).
-		FDiv(R17, R16, R13).
-		FSqrt(R18, R17).
-		FtoI(R19, R18).
-		MovI(R20, 0x3000).
-		Store(R19, R20, 0).
-		StoreB(R19, R20, 8).
-		Load(R21, R20, 0).
-		LoadB(R22, R20, 8).
-		Flush(R20, 0).
-		RdCyc(R23).
-		Beq(R21, R21, "fin").
-		Raw(Instr{Op: OpNop}).
-		Label("fin").
-		Halt().
-		MustBuild()
-	res, err := Exec(p, NewMemory(), nil, 1000)
-	if err != nil || !res.Halted {
-		t.Fatalf("run: %v halted=%v", err, res.Halted)
-	}
-	if res.Regs[R21] != res.Regs[R19] {
-		t.Fatal("store/load roundtrip failed")
 	}
 }
 

@@ -114,6 +114,35 @@ func (m *Memory) Clone() *Memory {
 // Pages returns the number of allocated backing pages (for tests).
 func (m *Memory) Pages() int { return len(m.pages) }
 
+// Image returns a deep copy of the memory contents as a page-number →
+// page-bytes map, omitting all-zero pages (which are indistinguishable
+// from absent pages). The image is the serializable form of the memory
+// used by warmup checkpoints (internal/arch).
+func (m *Memory) Image() map[uint64][]byte {
+	img := make(map[uint64][]byte, len(m.pages))
+	for pn, p := range m.pages {
+		if *p == (page{}) {
+			continue
+		}
+		b := make([]byte, pageSize)
+		copy(b, p[:])
+		img[pn] = b
+	}
+	return img
+}
+
+// SetImage replaces the memory contents with the given page image (as
+// produced by Image). Pages longer than the backing page size are
+// truncated; shorter pages are zero-extended.
+func (m *Memory) SetImage(img map[uint64][]byte) {
+	m.pages = make(map[uint64]*page, len(img))
+	for pn, b := range img {
+		p := new(page)
+		copy(p[:], b)
+		m.pages[pn] = p
+	}
+}
+
 // Equal reports whether two memories have identical contents. Zero-filled
 // pages are treated the same as absent pages.
 func (m *Memory) Equal(o *Memory) bool {

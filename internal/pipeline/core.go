@@ -107,6 +107,24 @@ func (c *Core) SetInvalidateHook(h *mem.Hierarchy) { h.OnInvalidate = c.onInvali
 // Regs returns the committed architectural registers.
 func (c *Core) Regs() [isa.NumRegs]uint64 { return c.regs }
 
+// Predictor exposes the core's branch predictor (warmup checkpoint
+// capture/restore and tests).
+func (c *Core) Predictor() *bpred.Predictor { return c.bp }
+
+// RestoreArch seeds the core's committed architectural state from a
+// functional-warmup checkpoint: committed registers and the PC fetch
+// resumes from. It must be called before the first Step. halted marks a
+// program that already committed its halt during warmup; the core then
+// starts (and stays) halted.
+func (c *Core) RestoreArch(regs [isa.NumRegs]uint64, pc int, halted bool) {
+	c.regs = regs
+	c.fetchPC = pc
+	if halted {
+		c.halted = true
+		c.fetchHalted = true
+	}
+}
+
 // Stats returns the statistics gathered so far.
 func (c *Core) Stats() Stats { return c.stats }
 

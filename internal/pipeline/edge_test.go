@@ -3,6 +3,7 @@ package pipeline
 import (
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/isa"
 	"repro/internal/mem"
 )
@@ -180,7 +181,7 @@ func TestDeepBranchNest(t *testing.T) {
 	// Golden.
 	gm := isa.NewMemory()
 	init(gm)
-	g, err := isa.Exec(prog, gm, nil, 1e7)
+	g, err := arch.Exec(prog, gm, nil, 1e7)
 	if err != nil {
 		t.Fatal(err)
 	}

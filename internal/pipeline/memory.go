@@ -24,10 +24,7 @@ func rangeContains(outer, outerSize, inner, innerSize uint64) bool {
 
 // readMem reads the load's architectural value from memory.
 func (c *Core) readMem(e *robEntry) uint64 {
-	if e.in.Op == isa.OpLoadB {
-		return uint64(c.data.Read8(e.addr))
-	}
-	return c.data.Read64(e.addr)
+	return isa.LoadValue(c.data, e.in.Op, e.addr)
 }
 
 // sqSearch scans older stores for forwarding. Outcomes:

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/sdo"
@@ -323,7 +324,7 @@ func TestAblationKnobs(t *testing.T) {
 	prog, init := taintedLoadGadget()
 	goldenMem := isa.NewMemory()
 	init(goldenMem)
-	golden, err := isa.Exec(prog, goldenMem, nil, 10_000_000)
+	golden, err := arch.Exec(prog, goldenMem, nil, 10_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}

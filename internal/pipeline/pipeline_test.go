@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/sdo"
@@ -82,7 +83,7 @@ func checkEquivalence(t *testing.T, prog *isa.Program, init func(*isa.Memory)) {
 	if init != nil {
 		init(goldenMem)
 	}
-	golden, err := isa.Exec(prog, goldenMem, nil, 10_000_000)
+	golden, err := arch.Exec(prog, goldenMem, nil, 10_000_000)
 	if err != nil {
 		t.Fatalf("golden: %v", err)
 	}

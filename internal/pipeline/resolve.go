@@ -278,11 +278,7 @@ func (c *Core) commit() {
 			if !e.addrValid || !e.sqDataReady {
 				return
 			}
-			if e.in.Op == isa.OpStore {
-				c.data.Write64(e.addr, e.sqData)
-			} else {
-				c.data.Write8(e.addr, byte(e.sqData))
-			}
+			isa.StoreValue(c.data, e.in.Op, e.addr, e.sqData)
 			c.port.Store(c.cycle, e.addr)
 		case e.in.Op == isa.OpFlush:
 			// Address sources are committed by now; read the regfile.

@@ -14,7 +14,8 @@ import (
 //	GET    /sweeps/{id}          one job's status
 //	DELETE /sweeps/{id}          cancel a job
 //	GET    /sweeps/{id}/progress stream per-run progress lines (text/plain)
-//	GET    /sweeps/{id}/export   harness.Export JSON (blocks until done)
+//	GET    /sweeps/{id}/export   harness.Export JSON (blocks until done);
+//	                             ablation jobs return AblationExport instead
 //	GET    /healthz              liveness probe
 //	GET    /metrics              Prometheus-style counters
 func (s *Service) Handler() http.Handler {
@@ -133,7 +134,7 @@ func (s *Service) handleProgress(w http.ResponseWriter, r *http.Request) {
 
 // handleExport waits for the job and writes the harness.Export JSON —
 // the exact document cmd/experiments -export produces for the same
-// options.
+// options. Ablation jobs write an AblationExport instead.
 func (s *Service) handleExport(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
@@ -142,6 +143,15 @@ func (s *Service) handleExport(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-j.Done():
 	case <-r.Context().Done():
+		return
+	}
+	if j.Ablation() {
+		ex, err := j.Ablations()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, http.StatusOK, ex)
 		return
 	}
 	res, err := j.Results()

@@ -32,6 +32,13 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// ablation marks a design-space-study job: cells enumerate (model,
+	// workload, ablation row) and results are recorded by cell index,
+	// because the harness.Key (workload, Hybrid, model) repeats across the
+	// rows and would collide in the runs map.
+	ablation bool
+	cellRes  []core.Result
+
 	mu        sync.Mutex
 	state     JobState
 	total     int
@@ -42,6 +49,10 @@ type Job struct {
 	err       error
 	done      chan struct{}
 }
+
+// Ablation reports whether this is an ablation-study job (its export is
+// the ablation table, not the sweep document).
+func (j *Job) Ablation() bool { return j.ablation }
 
 // Options returns the job's resolved sweep options.
 func (j *Job) Options() harness.Options { return j.opt }
@@ -66,14 +77,20 @@ func (j *Job) Cancel() {
 // terminal reports whether the job has finished (under j.mu).
 func (j *Job) terminal() bool { return j.state != JobRunning }
 
-// deliver records one completed cell.
-func (j *Job) deliver(k harness.Key, r core.Result, line string, fromCache bool) {
+// deliver records one completed cell. idx is the cell's index in the
+// job's enumeration order (ablation jobs record by index; sweep jobs by
+// harness.Key).
+func (j *Job) deliver(idx int, k harness.Key, r core.Result, line string, fromCache bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.terminal() {
 		return
 	}
-	j.runs[k] = r
+	if j.ablation {
+		j.cellRes[idx] = r
+	} else {
+		j.runs[k] = r
+	}
 	j.completed++
 	if fromCache {
 		j.cached++
@@ -152,6 +169,9 @@ func (j *Job) ProgressSince(i int) ([]string, int) {
 func (j *Job) Results() (*harness.Results, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.ablation {
+		return nil, errors.New("simsvc: ablation job has no sweep export (see Ablations)")
+	}
 	if j.state != JobDone {
 		if j.err != nil {
 			return nil, j.err
@@ -163,4 +183,54 @@ func (j *Job) Results() (*harness.Results, error) {
 		runs[k] = r
 	}
 	return &harness.Results{Opt: j.opt, Runs: runs}, nil
+}
+
+// AblationSection is one attack model's ablation table.
+type AblationSection struct {
+	Model string                `json:"model"`
+	Rows  []harness.AblationRow `json:"rows"`
+}
+
+// AblationExport is the machine-readable ablation-study document the
+// export endpoint serves for ablation jobs.
+type AblationExport struct {
+	MaxInstrs    uint64            `json:"max_instrs"`
+	WarmupInstrs uint64            `json:"warmup_instrs"`
+	Sections     []AblationSection `json:"ablations"`
+}
+
+// Ablations aggregates a completed ablation job into per-model tables,
+// using the same aggregation the CLI's RunAblations performs. Cell order
+// (fixed by Submit) is model-major, then workload, then 1 Unsafe baseline
+// followed by the harness's ablation rows.
+func (j *Job) Ablations() (*AblationExport, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.ablation {
+		return nil, errors.New("simsvc: not an ablation job")
+	}
+	if j.state != JobDone {
+		if j.err != nil {
+			return nil, j.err
+		}
+		return nil, errors.New("simsvc: job still running")
+	}
+	ex := &AblationExport{MaxInstrs: j.opt.MaxInstrs, WarmupInstrs: j.opt.WarmupInstrs}
+	rowsPer := len(harness.AblationRows())
+	perWorkload := 1 + rowsPer
+	perModel := len(j.opt.Workloads) * perWorkload
+	for mi, m := range j.opt.Models {
+		rows := harness.AblationRows()
+		cycles := make([][]uint64, len(j.opt.Workloads))
+		for wi := range j.opt.Workloads {
+			wc := make([]uint64, perWorkload)
+			for ci := 0; ci < perWorkload; ci++ {
+				wc[ci] = j.cellRes[mi*perModel+wi*perWorkload+ci].Cycles
+			}
+			cycles[wi] = wc
+		}
+		harness.AggregateAblations(rows, cycles)
+		ex.Sections = append(ex.Sections, AblationSection{Model: m.String(), Rows: rows})
+	}
+	return ex, nil
 }

@@ -33,7 +33,11 @@ import (
 // v2: RunSpec gained IntervalCycles (interval time series ride along in
 // the cached core.Result, so two runs differing only in sampling
 // cadence are distinct cache entries).
-const keySchema = "sdo-cache-v2"
+// v3: RunSpec gained WarmupMode (functional warmup produces different —
+// exactly-bounded, non-speculative — warm state than detailed warmup, so
+// the two modes are distinct cache entries). The same schema also keys
+// the in-memory checkpoint tier (see Service.checkpoint).
+const keySchema = "sdo-cache-v3"
 
 // RunSpec identifies one simulation cell, in the exact terms the cache
 // key is derived from.
@@ -44,6 +48,7 @@ type RunSpec struct {
 	WarmupInstrs   uint64
 	MaxInstrs      uint64
 	IntervalCycles uint64
+	WarmupMode     core.WarmupMode
 	Ablate         core.Ablation
 }
 
@@ -98,10 +103,23 @@ func (s RunSpec) CacheKey() (string, error) {
 		return "", err
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|wl=%s|prog=%s|variant=%d|model=%d|warmup=%d|max=%d|interval=%d|ablate=%t,%t,%t,%t",
+	fmt.Fprintf(h, "%s|wl=%s|prog=%s|variant=%d|model=%d|warmup=%d|max=%d|interval=%d|wmode=%d|ablate=%t,%t,%t,%t",
 		keySchema, s.Workload, fp, int(s.Variant), int(s.Model),
-		s.WarmupInstrs, s.MaxInstrs, s.IntervalCycles,
+		s.WarmupInstrs, s.MaxInstrs, s.IntervalCycles, int(s.WarmupMode),
 		s.Ablate.DisableEarlyForward, s.Ablate.AlwaysValidate,
 		s.Ablate.NoImplicitChannelProtection, s.Ablate.OblDRAMVariant)
 	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// CheckpointKey identifies the warmup checkpoint a functional-mode cell
+// can restore from: workload identity (name + program fingerprint) and
+// warmup budget — deliberately nothing else, because the checkpoint is
+// variant/model/ablation-independent. Every cell of a sweep grid that
+// shares (workload, warmup) shares one checkpoint-tier entry.
+func (s RunSpec) CheckpointKey() (string, error) {
+	fp, err := programFingerprint(s.Workload)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s|ckpt|wl=%s|prog=%s|warmup=%d", keySchema, s.Workload, fp, s.WarmupInstrs), nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
@@ -47,12 +48,24 @@ type Service struct {
 	order    []string
 	inflight map[string]*flight
 
+	// Checkpoint tier: one functional-warmup checkpoint per (workload
+	// fingerprint, warmup budget), captured once under singleflight and
+	// restored by every functional-mode cell that shares it. Unbounded,
+	// but entries exist only per distinct (workload, warmup) pair — a
+	// handful per deployment.
+	ckMu  sync.Mutex
+	ckpts map[string]*ckFlight
+
 	// Metrics (see /metrics).
 	runsExecuted atomic.Uint64 // simulations actually run
 	runsDeduped  atomic.Uint64 // cells that joined an in-flight identical run
 	runsSkipped  atomic.Uint64 // cells abandoned by cancellation/shutdown
 	runNanos     atomic.Uint64 // cumulative wall time of executed runs
 	jobsTotal    atomic.Uint64
+
+	ckptsCaptured   atomic.Uint64 // warmup checkpoints captured
+	ckptHits        atomic.Uint64 // cells that restored an existing checkpoint
+	warmupSimulated atomic.Uint64 // warmup instructions actually simulated
 
 	reg      *obs.Registry
 	runDur   *obs.Histogram // per-run wall time
@@ -66,9 +79,16 @@ type flight struct {
 }
 
 type delivery struct {
-	job  *Job
-	key  harness.Key
-	line string
+	job *Job
+	idx int // cell index in the job's enumeration order
+	key harness.Key
+}
+
+// ckFlight is one checkpoint-tier entry: the first cell to need it
+// captures while later cells block on done.
+type ckFlight struct {
+	done chan struct{}
+	ck   *arch.Checkpoint
 }
 
 // New starts a service. The persisted cache at cfg.CachePath, if any, is
@@ -93,6 +113,7 @@ func New(cfg Config) (*Service, error) {
 		cancel:   cancel,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*flight),
+		ckpts:    make(map[string]*ckFlight),
 	}
 	s.pool = harness.NewPool(ctx, cfg.Workers)
 	s.registerMetrics()
@@ -133,6 +154,12 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(s.runNanos.Load()) / 1e9 })
 	ctr("sdo_jobs_total", "Sweep jobs submitted.",
 		func() float64 { return float64(s.jobsTotal.Load()) })
+	ctr("sdo_checkpoints_captured_total", "Functional-warmup checkpoints captured.",
+		func() float64 { return float64(s.ckptsCaptured.Load()) })
+	ctr("sdo_checkpoint_hits_total", "Cells that restored an existing warmup checkpoint.",
+		func() float64 { return float64(s.ckptHits.Load()) })
+	ctr("sdo_warmup_instrs_simulated_total", "Warmup instructions actually simulated (checkpoint reuse keeps this at one warmup per workload).",
+		func() float64 { return float64(s.warmupSimulated.Load()) })
 	s.runDur = r.NewHistogram("sdo_run_duration_seconds",
 		"Wall time of individual executed simulations.", obs.DefaultLatencyBuckets())
 	s.queueLat = r.NewHistogram("sdo_queue_latency_seconds",
@@ -161,6 +188,15 @@ type SweepRequest struct {
 	// IntervalCycles samples an interval statistics point every N cycles
 	// of each run's measurement window into the export (0: off).
 	IntervalCycles uint64 `json:"interval_cycles,omitempty"`
+	// WarmupMode is "detailed" (default) or "functional". Functional-mode
+	// cells restore a per-(workload, warmup) checkpoint from the service's
+	// checkpoint tier instead of re-simulating warmup.
+	WarmupMode string `json:"warmup_mode,omitempty"`
+	// Ablations turns the job into a design-space study: per model and
+	// workload it runs the Unsafe baseline plus the harness's ablation
+	// rows on Hybrid (Variants is ignored), and the export endpoint serves
+	// the aggregated ablation tables.
+	Ablations bool `json:"ablations,omitempty"`
 }
 
 // parseModel maps a request string to an attack model.
@@ -185,6 +221,11 @@ func (s *Service) resolve(req SweepRequest) (harness.Options, []RunSpec, error) 
 		opt.WarmupInstrs = *req.WarmupInstrs
 	}
 	opt.IntervalCycles = req.IntervalCycles
+	wm, err := core.ParseWarmupMode(req.WarmupMode)
+	if err != nil {
+		return opt, nil, err
+	}
+	opt.WarmupMode = wm
 	if len(req.Workloads) > 0 {
 		var wls []workload.Workload
 		for _, name := range req.Workloads {
@@ -219,6 +260,9 @@ func (s *Service) resolve(req SweepRequest) (harness.Options, []RunSpec, error) 
 		opt.Models = ms
 	}
 	opt = opt.Normalized()
+	if req.Ablations {
+		return opt, ablationCells(opt), nil
+	}
 	seen := make(map[harness.Key]bool)
 	var cells []RunSpec
 	for _, k := range opt.Cells() {
@@ -233,9 +277,38 @@ func (s *Service) resolve(req SweepRequest) (harness.Options, []RunSpec, error) 
 			WarmupInstrs:   opt.WarmupInstrs,
 			MaxInstrs:      opt.MaxInstrs,
 			IntervalCycles: opt.IntervalCycles,
+			WarmupMode:     opt.WarmupMode,
 		})
 	}
 	return opt, cells, nil
+}
+
+// ablationCells enumerates a design-space-study job: model-major, then
+// workload, then the Unsafe baseline followed by the harness's ablation
+// rows on Hybrid. Job.Ablations relies on exactly this order.
+func ablationCells(opt harness.Options) []RunSpec {
+	rows := harness.AblationRows()
+	var cells []RunSpec
+	for _, m := range opt.Models {
+		for _, wl := range opt.Workloads {
+			base := RunSpec{
+				Workload:     wl.Name,
+				Variant:      core.Unsafe,
+				Model:        m,
+				WarmupInstrs: opt.WarmupInstrs,
+				MaxInstrs:    opt.MaxInstrs,
+				WarmupMode:   opt.WarmupMode,
+			}
+			cells = append(cells, base)
+			for _, row := range rows {
+				c := base
+				c.Variant = core.Hybrid
+				c.Ablate = row.Ablate
+				cells = append(cells, c)
+			}
+		}
+	}
+	return cells
 }
 
 // Submit validates, registers and enqueues a sweep job.
@@ -249,13 +322,17 @@ func (s *Service) Submit(req SweepRequest) (*Job, error) {
 	}
 	jctx, jcancel := context.WithCancel(s.ctx)
 	j := &Job{
-		opt:    opt,
-		ctx:    jctx,
-		cancel: jcancel,
-		state:  JobRunning,
-		total:  len(cells),
-		runs:   make(map[harness.Key]core.Result, len(cells)),
-		done:   make(chan struct{}),
+		opt:      opt,
+		ctx:      jctx,
+		cancel:   jcancel,
+		state:    JobRunning,
+		total:    len(cells),
+		runs:     make(map[harness.Key]core.Result, len(cells)),
+		done:     make(chan struct{}),
+		ablation: req.Ablations,
+	}
+	if j.ablation {
+		j.cellRes = make([]core.Result, len(cells))
 	}
 
 	s.mu.Lock()
@@ -272,11 +349,33 @@ func (s *Service) Submit(req SweepRequest) (*Job, error) {
 	s.jobsTotal.Add(1)
 
 	enqueued := time.Now()
-	for _, c := range cells {
-		c := c
-		s.pool.Submit(func(ctx context.Context) { s.runCell(ctx, j, c, enqueued) })
+	for i, c := range cells {
+		i, c := i, c
+		s.pool.Submit(func(ctx context.Context) { s.runCell(ctx, j, i, c, enqueued) })
 	}
 	return j, nil
+}
+
+// checkpoint returns the warmup checkpoint for key, capturing it on first
+// use (singleflight: concurrent cells for the same workload block until
+// the one capture finishes).
+func (s *Service) checkpoint(key string, wl workload.Workload, warmup uint64) *arch.Checkpoint {
+	s.ckMu.Lock()
+	f, ok := s.ckpts[key]
+	if !ok {
+		f = &ckFlight{done: make(chan struct{})}
+		s.ckpts[key] = f
+		s.ckMu.Unlock()
+		f.ck = harness.CaptureCheckpoint(wl, warmup)
+		s.ckptsCaptured.Add(1)
+		s.warmupSimulated.Add(f.ck.Arch.Instrs)
+		close(f.done)
+		return f.ck
+	}
+	s.ckMu.Unlock()
+	<-f.done
+	s.ckptHits.Add(1)
+	return f.ck
 }
 
 // Job returns a submitted job by ID.
@@ -299,8 +398,9 @@ func (s *Service) Jobs() []*Job {
 }
 
 // runCell executes (or resolves from cache / an identical in-flight run)
-// one cell on a pool worker.
-func (s *Service) runCell(ctx context.Context, j *Job, spec RunSpec, enqueued time.Time) {
+// one cell on a pool worker. idx is the cell's index in its job's
+// enumeration order.
+func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, enqueued time.Time) {
 	s.queueLat.Observe(time.Since(enqueued).Seconds())
 	if ctx.Err() != nil || j.ctx.Err() != nil {
 		s.runsSkipped.Add(1)
@@ -316,30 +416,45 @@ func (s *Service) runCell(ctx context.Context, j *Job, spec RunSpec, enqueued ti
 		return harness.FormatProgress(spec.Key(), r) + note
 	}
 	if r, ok := s.cache.Get(key); ok {
-		j.deliver(spec.Key(), r, line(r, "  [cached]"), true)
+		j.deliver(idx, spec.Key(), r, line(r, "  [cached]"), true)
 		return
 	}
 	s.mu.Lock()
 	if f, ok := s.inflight[key]; ok {
-		f.waiters = append(f.waiters, delivery{job: j, key: spec.Key()})
+		f.waiters = append(f.waiters, delivery{job: j, idx: idx, key: spec.Key()})
 		s.mu.Unlock()
 		s.runsDeduped.Add(1)
 		return
 	}
-	f := &flight{waiters: []delivery{{job: j, key: spec.Key()}}}
+	f := &flight{waiters: []delivery{{job: j, idx: idx, key: spec.Key()}}}
 	s.inflight[key] = f
 	s.mu.Unlock()
 
 	wl, err := workload.ByName(spec.Workload)
 	var r core.Result
 	if err == nil {
-		start := time.Now()
-		r, err = harness.RunOne(wl, spec.Variant, spec.Model, spec.Ablate,
-			spec.WarmupInstrs, spec.MaxInstrs, spec.IntervalCycles)
-		elapsed := time.Since(start)
-		s.runNanos.Add(uint64(elapsed))
-		s.runDur.Observe(elapsed.Seconds())
-		s.runsExecuted.Add(1)
+		p := harness.RunParams{
+			WarmupInstrs:   spec.WarmupInstrs,
+			MaxInstrs:      spec.MaxInstrs,
+			IntervalCycles: spec.IntervalCycles,
+			WarmupMode:     spec.WarmupMode,
+		}
+		if spec.WarmupMode == core.WarmupFunctional && spec.WarmupInstrs > 0 {
+			var ckKey string
+			if ckKey, err = spec.CheckpointKey(); err == nil {
+				p.Checkpoint = s.checkpoint(ckKey, wl, spec.WarmupInstrs)
+			}
+		} else if spec.WarmupInstrs > 0 {
+			s.warmupSimulated.Add(spec.WarmupInstrs)
+		}
+		if err == nil {
+			start := time.Now()
+			r, err = harness.RunOne(wl, spec.Variant, spec.Model, spec.Ablate, p)
+			elapsed := time.Since(start)
+			s.runNanos.Add(uint64(elapsed))
+			s.runDur.Observe(elapsed.Seconds())
+			s.runsExecuted.Add(1)
+		}
 	}
 	if err == nil {
 		s.cache.Put(key, r)
@@ -353,7 +468,7 @@ func (s *Service) runCell(ctx context.Context, j *Job, spec RunSpec, enqueued ti
 		if err != nil {
 			w.job.fail(fmt.Errorf("simsvc: %s/%v/%v: %w", spec.Workload, spec.Variant, spec.Model, err))
 		} else {
-			w.job.deliver(w.key, r, line(r, ""), false)
+			w.job.deliver(w.idx, w.key, r, line(r, ""), false)
 		}
 	}
 }
@@ -408,6 +523,10 @@ type Metrics struct {
 	RunsSkipped    uint64
 	RunSeconds     float64
 	JobsTotal      uint64
+
+	CheckpointsCaptured   uint64
+	CheckpointHits        uint64
+	WarmupInstrsSimulated uint64
 }
 
 // Snapshot gathers the current metrics.
@@ -426,5 +545,9 @@ func (s *Service) Snapshot() Metrics {
 		RunsSkipped:    s.runsSkipped.Load(),
 		RunSeconds:     float64(s.runNanos.Load()) / 1e9,
 		JobsTotal:      s.jobsTotal.Load(),
+
+		CheckpointsCaptured:   s.ckptsCaptured.Load(),
+		CheckpointHits:        s.ckptHits.Load(),
+		WarmupInstrsSimulated: s.warmupSimulated.Load(),
 	}
 }

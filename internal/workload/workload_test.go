@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -21,7 +22,7 @@ func TestAllKernelsHaltFunctionally(t *testing.T) {
 			}
 			m := isa.NewMemory()
 			init(m)
-			res, err := isa.Exec(prog, m, nil, 5_000_000)
+			res, err := arch.Exec(prog, m, nil, 5_000_000)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -104,7 +105,7 @@ func TestRandomProgramTerminatesAndValidates(t *testing.T) {
 		}
 		m := isa.NewMemory()
 		init(m)
-		res, err := isa.Exec(prog, m, nil, 2_000_000)
+		res, err := arch.Exec(prog, m, nil, 2_000_000)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -140,7 +141,7 @@ func TestRandomDifferential(t *testing.T) {
 
 		goldenMem := isa.NewMemory()
 		init(goldenMem)
-		golden, err := isa.Exec(prog, goldenMem, nil, 5_000_000)
+		golden, err := arch.Exec(prog, goldenMem, nil, 5_000_000)
 		if err != nil {
 			t.Fatalf("seed %d: golden: %v", seed, err)
 		}
@@ -219,13 +220,13 @@ func TestMulticoreRandomDifferential(t *testing.T) {
 
 		goldenA := isa.NewMemory()
 		initA(goldenA)
-		gA, err := isa.Exec(progA, goldenA, nil, 5_000_000)
+		gA, err := arch.Exec(progA, goldenA, nil, 5_000_000)
 		if err != nil {
 			t.Fatal(err)
 		}
 		goldenB := isa.NewMemory()
 		initB(goldenB)
-		gB, err := isa.Exec(progB, goldenB, nil, 5_000_000)
+		gB, err := arch.Exec(progB, goldenB, nil, 5_000_000)
 		if err != nil {
 			t.Fatal(err)
 		}
