@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/simsvc"
 )
 
@@ -43,10 +44,43 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent simulations (0: all CPUs)")
 		drain    = flag.Duration("drain", 2*time.Minute, "shutdown grace period for in-flight runs")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+
+		maxAttempts  = flag.Int("max-attempts", 0, "attempts per cell incl. retries of transient failures (0: default 3)")
+		retryBackoff = flag.Duration("retry-backoff", 0, "base retry delay, doubling per attempt with jitter (0: default 200ms)")
+		cellTimeout  = flag.Duration("cell-timeout", 0, "wall-clock deadline per cell attempt (0: none)")
+		stallTimeout = flag.Duration("stall-timeout", 0, "kill a cell whose committed-instruction count stops advancing this long (0: off)")
+		maxPending   = flag.Int("max-pending", 0, "pending-cell queue bound; submissions over it get 429 + Retry-After (0: unbounded)")
+		jobTTL       = flag.Duration("job-ttl", 0, "evict finished jobs from the registry after this long (0: no TTL)")
+		maxJobs      = flag.Int("max-jobs", 0, "job-registry bound; oldest finished jobs evicted past it (0: default 4096)")
+		faultSpec    = flag.String("faults", "", "chaos fault-injection spec, e.g. seed=1,panic=0.05,slow=0.1 (also $"+faults.EnvVar+")")
 	)
 	flag.Parse()
 
-	svc, err := simsvc.New(simsvc.Config{Workers: *workers, CachePath: *cache, CacheMaxEntries: *cacheMax})
+	inj, err := faults.Parse(*faultSpec)
+	if err == nil && inj == nil {
+		inj, err = faults.FromEnv(os.LookupEnv)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdoserver:", err)
+		os.Exit(1)
+	}
+	if inj.Enabled() {
+		fmt.Fprintf(os.Stderr, "sdoserver: CHAOS fault injection enabled: %+v\n", inj.Config())
+	}
+
+	svc, err := simsvc.New(simsvc.Config{
+		Workers:         *workers,
+		CachePath:       *cache,
+		CacheMaxEntries: *cacheMax,
+		MaxAttempts:     *maxAttempts,
+		RetryBackoff:    *retryBackoff,
+		CellTimeout:     *cellTimeout,
+		StallTimeout:    *stallTimeout,
+		MaxPendingCells: *maxPending,
+		JobTTL:          *jobTTL,
+		MaxJobs:         *maxJobs,
+		Faults:          inj,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdoserver:", err)
 		os.Exit(1)

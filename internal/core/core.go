@@ -206,6 +206,11 @@ type Config struct {
 	// every IntervalCycles cycles of the measurement window (warmup is
 	// excluded) into Result.Intervals.
 	IntervalCycles uint64
+	// Check, when non-nil, is polled by the pipeline every few thousand
+	// cycles with the current cycle/committed counts; a non-nil return
+	// aborts the run with that error (cancellation, deadlines, stall
+	// watchdogs). Nil costs the pipeline one pointer compare per cycle.
+	Check func(cycle, committed uint64) error
 	// Mem overrides the Table I memory parameters when non-nil.
 	Mem *mem.Config
 	// Pipe overrides the Table I core parameters when non-nil (its
@@ -243,6 +248,7 @@ func pipelineConfig(cfg Config, probe func(uint64) mem.Level) pipeline.Config {
 		pc.MaxInstrs += cfg.WarmupInstrs
 	}
 	pc.MaxCycles = cfg.MaxCycles
+	pc.Check = cfg.Check
 	switch cfg.Variant {
 	case Unsafe:
 		pc.Protection = pipeline.ProtNone

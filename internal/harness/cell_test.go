@@ -1,0 +1,266 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func testWorkload(t *testing.T) workload.Workload {
+	t.Helper()
+	wl, err := workload.ByName("mcf_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+// cellParams must run long enough to poll the in-pipeline check hook
+// (every 4096 cycles) several times, while staying fast.
+func cellParams() RunParams {
+	return RunParams{WarmupInstrs: 1000, MaxInstrs: 30_000}
+}
+
+// With a zero policy and no injector, RunCell is RunOne plus a recover
+// frame: bit-identical result, no retries.
+func TestRunCellZeroPolicyMatchesRunOne(t *testing.T) {
+	wl := testWorkload(t)
+	p := cellParams()
+	want, err := RunOne(wl, core.Unsafe, pipeline.Spectre, core.Ablation{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, retries, err := RunCell(context.Background(), wl, core.Unsafe, pipeline.Spectre,
+		core.Ablation{}, p, RunPolicy{}, nil)
+	if err != nil || retries != 0 {
+		t.Fatalf("RunCell: retries=%d err=%v", retries, err)
+	}
+	if got.Cycles != want.Cycles || got.Committed != want.Committed {
+		t.Fatalf("RunCell result %+v != RunOne result %+v", got, want)
+	}
+}
+
+// transientPanicSeed finds a seed whose injected panic hits attempt 0 of
+// the given cell but not attempt 1 — the transient shape retries recover.
+func transientPanicSeed(t *testing.T, fk string, prob float64) uint64 {
+	t.Helper()
+	for seed := uint64(0); seed < 1000; seed++ {
+		f := faults.New(faults.Config{Seed: seed, PanicProb: prob})
+		if f.WouldPanic(fk, 0) && !f.WouldPanic(fk, 1) {
+			return seed
+		}
+	}
+	t.Fatal("no transient-panic seed found")
+	return 0
+}
+
+// An injected panic on attempt 0 is recovered (not propagated, not fatal
+// to the caller) and retried; the retry succeeds with the same result a
+// clean run produces — failure recovery must not perturb determinism.
+func TestRunCellRecoversTransientPanic(t *testing.T) {
+	wl := testWorkload(t)
+	p := cellParams()
+	fk := faultKey(Key{wl.Name, core.Unsafe, pipeline.Spectre}, core.Ablation{})
+	seed := transientPanicSeed(t, fk, 0.5)
+	inj := faults.New(faults.Config{Seed: seed, PanicProb: 0.5})
+
+	var events []CellEvent
+	pol := RunPolicy{MaxAttempts: 3, RetryBackoff: time.Millisecond,
+		Notify: func(ev CellEvent) { events = append(events, ev) }}
+	got, retries, err := RunCell(context.Background(), wl, core.Unsafe, pipeline.Spectre,
+		core.Ablation{}, p, pol, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries != 1 {
+		t.Fatalf("retries = %d, want 1", retries)
+	}
+	want, _ := RunOne(wl, core.Unsafe, pipeline.Spectre, core.Ablation{}, cellParams())
+	if got.Cycles != want.Cycles {
+		t.Fatalf("retried result cycles=%d, clean run cycles=%d", got.Cycles, want.Cycles)
+	}
+	if len(events) != 2 || events[0].Kind != "panic" || events[1].Kind != "retry" {
+		t.Fatalf("events = %+v", events)
+	}
+	if inj.Stats().Panics != 1 {
+		t.Fatalf("injected panics = %d", inj.Stats().Panics)
+	}
+}
+
+// A permanent panic (PanicKey matches every attempt) exhausts retries and
+// surfaces as a typed CellError with an accurate attempt count and stack.
+func TestRunCellPermanentPanicExhaustsRetries(t *testing.T) {
+	wl := testWorkload(t)
+	inj := faults.New(faults.Config{PanicKey: "mcf_r"})
+	pol := RunPolicy{MaxAttempts: 3, RetryBackoff: time.Millisecond}
+	_, retries, err := RunCell(context.Background(), wl, core.Unsafe, pipeline.Spectre,
+		core.Ablation{}, cellParams(), pol, inj)
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CellError", err)
+	}
+	if ce.Kind != FailPanic || ce.Attempts != 3 || retries != 2 {
+		t.Fatalf("kind=%s attempts=%d retries=%d", ce.Kind, ce.Attempts, retries)
+	}
+	if ce.Stack == "" {
+		t.Fatal("panic CellError has no stack")
+	}
+	if !ce.Transient() {
+		t.Fatal("panic should be transient")
+	}
+}
+
+// A frozen cell (wall time passes, committed count stops advancing) is
+// killed by the progress-based stall watchdog, not by a cycle count.
+func TestRunCellStallWatchdog(t *testing.T) {
+	wl := testWorkload(t)
+	inj := faults.New(faults.Config{FreezeProb: 1, FreezeFor: 400 * time.Millisecond})
+	pol := RunPolicy{StallTimeout: 50 * time.Millisecond}
+	_, _, err := RunCell(context.Background(), wl, core.Unsafe, pipeline.Spectre,
+		core.Ablation{}, cellParams(), pol, inj)
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Kind != FailStall {
+		t.Fatalf("err = %v, want stall CellError", err)
+	}
+	if !errors.Is(err, ErrCellStalled) {
+		t.Fatal("stall error does not unwrap to ErrCellStalled")
+	}
+}
+
+// A cell that exceeds its wall-clock deadline is killed with FailTimeout.
+func TestRunCellDeadline(t *testing.T) {
+	wl := testWorkload(t)
+	inj := faults.New(faults.Config{FreezeProb: 1, FreezeFor: 120 * time.Millisecond})
+	pol := RunPolicy{CellTimeout: 30 * time.Millisecond}
+	_, _, err := RunCell(context.Background(), wl, core.Unsafe, pipeline.Spectre,
+		core.Ablation{}, cellParams(), pol, inj)
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Kind != FailTimeout {
+		t.Fatalf("err = %v, want timeout CellError", err)
+	}
+}
+
+// A deterministic simulation error is FailExec and is never retried.
+func TestRunCellExecErrorNotRetried(t *testing.T) {
+	wl := testWorkload(t)
+	attempts := 0
+	pol := RunPolicy{MaxAttempts: 5, RetryBackoff: time.Millisecond,
+		Notify: func(ev CellEvent) { attempts++ }}
+	// Functional-warmup restore with a detailed-mode config is a
+	// deterministic config error inside RunOne.
+	p := cellParams()
+	p.Checkpoint = CaptureCheckpoint(wl, 500)
+	_, retries, err := RunCell(context.Background(), wl, core.Unsafe, pipeline.Spectre,
+		core.Ablation{}, p, pol, nil)
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Kind != FailExec {
+		t.Fatalf("err = %v, want exec CellError", err)
+	}
+	if retries != 0 || ce.Attempts != 1 {
+		t.Fatalf("exec failure retried: retries=%d attempts=%d", retries, ce.Attempts)
+	}
+}
+
+// Cancellation interrupts a running cell mid-simulation and propagates
+// as ctx.Err(), not as a CellError, and is not retried.
+func TestRunCellCancellationMidRun(t *testing.T) {
+	wl := testWorkload(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	inj := faults.New(faults.Config{FreezeProb: 1, FreezeFor: 100 * time.Millisecond})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err := RunCell(ctx, wl, core.Unsafe, pipeline.Spectre,
+		core.Ablation{}, cellParams(), RunPolicy{MaxAttempts: 3}, inj)
+	var ce *CellError
+	if errors.As(err, &ce) {
+		t.Fatalf("cancellation wrapped in CellError: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// Abort (flight abandonment) kills the attempt with ErrCellAbandoned.
+func TestRunCellAbort(t *testing.T) {
+	wl := testWorkload(t)
+	pol := RunPolicy{Abort: func() bool { return true }}
+	_, _, err := RunCell(context.Background(), wl, core.Unsafe, pipeline.Spectre,
+		core.Ablation{}, cellParams(), pol, nil)
+	if !errors.Is(err, ErrCellAbandoned) {
+		t.Fatalf("err = %v, want ErrCellAbandoned", err)
+	}
+}
+
+// Backoff is deterministic per (key, attempt) and doubles with attempts.
+func TestBackoffDeterministicWithJitter(t *testing.T) {
+	pol := RunPolicy{RetryBackoff: 100 * time.Millisecond}
+	k := Key{"mcf_r", core.Hybrid, pipeline.Spectre}
+	d1 := pol.backoffFor(k, 1)
+	if d1 != pol.backoffFor(k, 1) {
+		t.Fatal("backoff not deterministic")
+	}
+	if d1 < 50*time.Millisecond || d1 >= 150*time.Millisecond {
+		t.Fatalf("attempt-1 backoff %v outside [50ms, 150ms)", d1)
+	}
+	d2 := pol.backoffFor(k, 2)
+	if d2 < 100*time.Millisecond || d2 >= 300*time.Millisecond {
+		t.Fatalf("attempt-2 backoff %v outside [100ms, 300ms)", d2)
+	}
+}
+
+// A tolerant sweep with a permanently-failing workload completes, records
+// the failures, and exports the surviving workloads identically to a
+// sweep that never contained the failed workload.
+func TestTolerantSweepDegrades(t *testing.T) {
+	wl1 := testWorkload(t)
+	wl2, err := workload.ByName("x264_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		WarmupInstrs: 1000, MaxInstrs: 5000,
+		Workloads: []workload.Workload{wl1, wl2},
+		Variants:  []core.Variant{core.Unsafe, core.Hybrid},
+		Models:    []pipeline.AttackModel{pipeline.Spectre},
+		Parallel:  true,
+		Policy:    RunPolicy{MaxAttempts: 2, RetryBackoff: time.Millisecond},
+		Faults:    faults.New(faults.Config{PanicKey: "x264_r"}),
+
+		TolerateFailures: true,
+	}
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 2 {
+		t.Fatalf("failures = %+v, want 2 (x264_r cells)", res.Failures)
+	}
+	for _, f := range res.Failures {
+		if f.Key.Workload != "x264_r" || f.Attempts != 2 {
+			t.Fatalf("unexpected failure record %+v", f)
+		}
+	}
+	if res.Retries == 0 {
+		t.Fatal("no retries counted")
+	}
+	clean := opt
+	clean.Workloads = []workload.Workload{wl1}
+	clean.Faults, clean.Policy = nil, RunPolicy{}
+	want, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range want.Runs {
+		if g, ok := res.Runs[k]; !ok || g.Cycles != w.Cycles {
+			t.Fatalf("surviving cell %v: got %+v want %+v", k, res.Runs[k], w)
+		}
+	}
+}

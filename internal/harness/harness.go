@@ -12,12 +12,14 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -55,6 +57,17 @@ type Options struct {
 	Parallel bool
 	// Progress, if non-nil, receives a line per completed run.
 	Progress func(string)
+
+	// Policy is the per-cell fault-tolerance policy (retries, deadlines,
+	// stall watchdog). The zero value preserves historical behavior.
+	Policy RunPolicy
+	// Faults optionally injects chaos faults into cell execution; nil
+	// (production) injects nothing and costs a nil compare per site.
+	Faults *faults.Injector
+	// TolerateFailures records permanently-failed cells in
+	// Results.Failures and completes the sweep without them, instead of
+	// failing the whole sweep on the first bad cell.
+	TolerateFailures bool
 }
 
 // DefaultOptions returns the full sweep at a laptop-scale budget.
@@ -133,6 +146,23 @@ type Results struct {
 	// CheckpointsCaptured counts per-workload warmup checkpoints captured
 	// (0 unless functional warmup with checkpoint reuse ran).
 	CheckpointsCaptured int
+
+	// Retries counts cell attempts beyond the first across the sweep
+	// (non-zero only under a retrying Policy). Like the warmup counters,
+	// deliberately not part of the JSON Export: a chaos run that recovers
+	// through retries must export byte-identically to a clean run.
+	Retries uint64
+	// Failures lists cells that failed permanently. Empty unless
+	// Options.TolerateFailures let the sweep complete around them.
+	Failures []CellFailure
+}
+
+// CellFailure records one permanently-failed cell of a tolerant sweep.
+type CellFailure struct {
+	Key      Key    `json:"key"`
+	Kind     string `json:"kind"`
+	Attempts int    `json:"attempts"`
+	Err      string `json:"error"`
 }
 
 // RunParams carries the per-run bounds and warmup policy of a cell —
@@ -146,6 +176,11 @@ type RunParams struct {
 	// snapshot restored instead of re-running warmup (requires
 	// WarmupFunctional and a matching WarmupInstrs).
 	Checkpoint *arch.Checkpoint
+	// Check, when non-nil, is polled by the pipeline every few thousand
+	// cycles; a non-nil return aborts the run. RunCell assembles this
+	// from its policy (cancellation, deadline, stall watchdog); direct
+	// RunOne callers normally leave it nil.
+	Check func(cycle, committed uint64) error
 }
 
 // Params returns the per-run parameters the options imply (without a
@@ -185,6 +220,7 @@ func RunOne(wl workload.Workload, v core.Variant, m pipeline.AttackModel, ab cor
 		WarmupMode:     p.WarmupMode,
 		MaxInstrs:      p.MaxInstrs,
 		IntervalCycles: p.IntervalCycles,
+		Check:          p.Check,
 	}, prog, init)
 	if p.Checkpoint != nil {
 		if err := machine.Restore(p.Checkpoint); err != nil {
@@ -243,12 +279,19 @@ func RunContext(ctx context.Context, opt Options) (*Results, error) {
 		k := cells[i]
 		p := opt.Params()
 		p.Checkpoint = checkpoints[k.Workload]
-		r, err := RunOne(byName[k.Workload], k.Variant, k.Model, core.Ablation{}, p)
-		if err != nil {
-			return fmt.Errorf("harness: %s/%v/%v: %w", k.Workload, k.Variant, k.Model, err)
-		}
+		r, retries, err := RunCell(ctx, byName[k.Workload], k.Variant, k.Model, core.Ablation{}, p, opt.Policy, opt.Faults)
 		mu.Lock()
 		defer mu.Unlock()
+		res.Retries += uint64(retries)
+		if err != nil {
+			var ce *CellError
+			if opt.TolerateFailures && errors.As(err, &ce) {
+				res.Failures = append(res.Failures, CellFailure{
+					Key: k, Kind: string(ce.Kind), Attempts: ce.Attempts, Err: ce.Err.Error()})
+				return nil
+			}
+			return fmt.Errorf("harness: %s/%v/%v: %w", k.Workload, k.Variant, k.Model, err)
+		}
 		res.Runs[k] = r
 		if p.Checkpoint == nil && opt.WarmupInstrs > 0 {
 			res.WarmupInstrsSimulated += opt.WarmupInstrs
@@ -502,9 +545,16 @@ func RunAblationsContext(ctx context.Context, opt Options, model pipeline.Attack
 		if opt.reuseCheckpoints() {
 			p.Checkpoint = CaptureCheckpoint(wl, opt.WarmupInstrs)
 		}
+		// A permanent failure anywhere in a tolerant ablation block zeroes
+		// the whole workload block: AggregateAblations skips zero-baseline
+		// workloads, so the table aggregates only fully-measured ones.
 		wc := make([]uint64, 1+len(rows))
-		base, err := RunOne(wl, core.Unsafe, model, core.Ablation{}, p)
+		base, _, err := RunCell(ctx, wl, core.Unsafe, model, core.Ablation{}, p, opt.Policy, opt.Faults)
 		if err != nil {
+			var ce *CellError
+			if opt.TolerateFailures && errors.As(err, &ce) {
+				return nil
+			}
 			return err
 		}
 		wc[0] = base.Cycles
@@ -513,8 +563,12 @@ func RunAblationsContext(ctx context.Context, opt Options, model pipeline.Attack
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
-				r, err := RunOne(wl, core.Hybrid, model, rows[ri].Ablate, p)
+				r, _, err := RunCell(ctx, wl, core.Hybrid, model, rows[ri].Ablate, p, opt.Policy, opt.Faults)
 				if err != nil {
+					var ce *CellError
+					if opt.TolerateFailures && errors.As(err, &ce) {
+						return nil
+					}
 					return err
 				}
 				wc[1+ri] = r.Cycles

@@ -43,8 +43,12 @@ const (
 	ClassSDO
 	// ClassFP covers SDO floating-point fast-path issue and failure.
 	ClassFP
+	// ClassFault covers fault-tolerance activity above the pipeline:
+	// injected chaos faults, cell panics/timeouts/stalls, retries, cache
+	// corruption quarantine, and persistence degradation.
+	ClassFault
 
-	numClasses = 10
+	numClasses = 11
 )
 
 // ClassAll enables every event class.
@@ -63,6 +67,7 @@ var classNames = map[Class]string{
 	ClassTLB:    "tlb",
 	ClassSDO:    "sdo",
 	ClassFP:     "fp",
+	ClassFault:  "fault",
 }
 
 // ClassNames returns the canonical class names in stable order.

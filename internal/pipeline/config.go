@@ -128,6 +128,14 @@ type Config struct {
 	// this many cycles (deadlock detector). 0 uses a default.
 	WatchdogCycles uint64
 
+	// Check, when non-nil, is polled every checkInterval cycles with the
+	// current cycle and committed-instruction counts; a non-nil return
+	// aborts the simulation with that error. Harness-level cancellation,
+	// per-cell deadlines and the progress-based stall watchdog all hang
+	// off this single hook, so an unconfigured core pays one nil compare
+	// per cycle.
+	Check func(cycle, committed uint64) error
+
 	// MaxInstrs bounds committed instructions (0 = until halt).
 	MaxInstrs uint64
 	// MaxCycles bounds simulated cycles (0 = until halt).

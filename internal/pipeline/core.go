@@ -161,9 +161,20 @@ func (c *Core) Run() (Stats, error) {
 	return c.stats, nil
 }
 
+// checkInterval is how often (in cycles) Step polls Config.Check. A
+// power of two so the test is one mask; ~4k cycles keeps wall-clock
+// deadline/stall detection responsive at simulation speeds of millions
+// of cycles per second while staying invisible in profiles.
+const checkInterval = 4096
+
 // Step advances the core by one cycle.
 func (c *Core) Step() error {
 	c.cycle++
+	if c.cfg.Check != nil && c.cycle&(checkInterval-1) == 0 {
+		if err := c.cfg.Check(c.cycle, c.stats.Committed); err != nil {
+			return err
+		}
+	}
 	if c.cycle-c.lastCommitCycle > c.cfg.WatchdogCycles {
 		return fmt.Errorf("pipeline: watchdog: no commit for %d cycles at cycle %d (head=%d tail=%d head instr %v)",
 			c.cfg.WatchdogCycles, c.cycle, c.headSeq, c.tailSeq, c.headInstrDesc())

@@ -1,7 +1,10 @@
 package simsvc
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 // cacheFileVersion versions the on-disk cache format (the JSON shape of
@@ -18,12 +22,20 @@ import (
 //
 // v2: core.Result gained the interval time series (Intervals,
 // ROBOccHist, LQOccHist) and RunSpec gained IntervalCycles.
-const cacheFileVersion = 2
+// v3: per-entry integrity checksums (cacheEntry.Sum over the canonical
+// result encoding), so a bit-flipped entry is detected and dropped
+// instead of silently poisoning the determinism guarantee.
+const cacheFileVersion = 3
+
+// CorruptSuffix is appended to an unparseable cache file's name when the
+// loader quarantines it (the file is kept for forensics, the cache starts
+// empty).
+const CorruptSuffix = ".corrupt"
 
 // Cache is a content-addressed store of completed simulation results,
 // keyed by RunSpec.CacheKey, with an optional LRU size bound. It is safe
-// for concurrent use and keeps hit/miss/eviction counters for the
-// service's /metrics endpoint.
+// for concurrent use and keeps hit/miss/eviction/corruption counters for
+// the service's /metrics endpoint.
 type Cache struct {
 	mu        sync.Mutex
 	max       int // 0: unbounded
@@ -32,6 +44,14 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+
+	// corrupt counts entries dropped by checksum verification on load;
+	// quarantined counts whole files renamed aside as unparseable.
+	corrupt     uint64
+	quarantined uint64
+
+	// inj injects I/O faults into Save/load paths (nil in production).
+	inj *faults.Injector
 }
 
 // lruEntry is one cached result with its key (for map removal on evict).
@@ -43,6 +63,14 @@ type lruEntry struct {
 // NewCache returns an empty, unbounded cache.
 func NewCache() *Cache {
 	return &Cache{entries: make(map[string]*list.Element), order: list.New()}
+}
+
+// SetFaults attaches a fault injector to the cache's I/O paths (chaos
+// testing; nil disables injection).
+func (c *Cache) SetFaults(inj *faults.Injector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inj = inj
 }
 
 // SetMaxEntries bounds the cache to n results, evicting
@@ -128,6 +156,22 @@ func (c *Cache) Evictions() uint64 {
 	return c.evictions
 }
 
+// CorruptEntries returns how many persisted entries failed checksum
+// verification and were dropped on load.
+func (c *Cache) CorruptEntries() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.corrupt
+}
+
+// QuarantinedFiles returns how many unparseable cache files the loader
+// renamed aside (0 or 1 per load).
+func (c *Cache) QuarantinedFiles() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quarantined
+}
+
 // cacheFile is the persisted form. Entries are a sorted list (not a map)
 // so the file is byte-stable across saves of the same contents.
 type cacheFile struct {
@@ -136,18 +180,51 @@ type cacheFile struct {
 }
 
 type cacheEntry struct {
-	Key    string      `json:"key"`
-	Result core.Result `json:"result"`
+	Key string `json:"key"`
+	// Sum is entrySum over (Key, canonical Result encoding); verified on
+	// load so a bit-flipped or hand-edited entry becomes a miss, not a
+	// wrong answer.
+	Sum    string          `json:"sum"`
+	Result json.RawMessage `json:"result"`
 }
 
-// Save writes the cache atomically (temp file + rename) to path.
+// entrySum is the per-entry integrity checksum: sha256 over the key and
+// the compact (canonical) JSON encoding of the result, truncated for
+// file compactness — this is corruption detection, not cryptography.
+func entrySum(key string, compactResult []byte) string {
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write([]byte{'|'})
+	h.Write(compactResult)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Save writes the cache atomically (temp file + rename) to path, with a
+// per-entry checksum. A crash mid-save leaves the previous file intact.
 func (c *Cache) Save(path string) error {
 	c.mu.Lock()
-	f := cacheFile{Version: cacheFileVersion}
+	inj := c.inj
+	type kv struct {
+		key string
+		res core.Result
+	}
+	snap := make([]kv, 0, len(c.entries))
 	for k, el := range c.entries {
-		f.Entries = append(f.Entries, cacheEntry{Key: k, Result: el.Value.(*lruEntry).res})
+		snap = append(snap, kv{k, el.Value.(*lruEntry).res})
 	}
 	c.mu.Unlock()
+	if err := inj.SaveErr(); err != nil {
+		return fmt.Errorf("simsvc: save cache: %w", err)
+	}
+
+	f := cacheFile{Version: cacheFileVersion}
+	for _, e := range snap {
+		raw, err := json.Marshal(e.res)
+		if err != nil {
+			return fmt.Errorf("simsvc: encode cache: %w", err)
+		}
+		f.Entries = append(f.Entries, cacheEntry{Key: e.key, Sum: entrySum(e.key, raw), Result: raw})
+	}
 	sort.Slice(f.Entries, func(i, j int) bool { return f.Entries[i].Key < f.Entries[j].Key })
 
 	data, err := json.MarshalIndent(&f, "", " ")
@@ -175,9 +252,20 @@ func (c *Cache) Save(path string) error {
 
 // LoadCache reads a persisted cache. A missing file yields an empty
 // cache; a version mismatch discards the contents (the counters would be
-// meaningless under a different schema).
+// meaningless under a different schema); an unparseable (truncated,
+// mangled) file is quarantined — renamed to path+CorruptSuffix — and
+// treated as empty; individual entries whose checksum does not match are
+// dropped. Only real I/O failures return an error.
 func LoadCache(path string) (*Cache, error) {
+	return loadCache(path, nil)
+}
+
+func loadCache(path string, inj *faults.Injector) (*Cache, error) {
 	c := NewCache()
+	c.inj = inj
+	if err := inj.LoadErr(); err != nil {
+		return nil, fmt.Errorf("simsvc: load cache %s: %w", path, err)
+	}
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return c, nil
@@ -187,7 +275,12 @@ func LoadCache(path string) (*Cache, error) {
 	}
 	var f cacheFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("simsvc: load cache %s: %w", path, err)
+		// The file is not valid JSON: quarantine it for forensics and
+		// start empty. A failed rename only means we could not move it;
+		// the cache still starts empty either way.
+		c.quarantined++
+		os.Rename(path, path+CorruptSuffix)
+		return c, nil
 	}
 	if f.Version != cacheFileVersion {
 		return c, nil
@@ -196,7 +289,20 @@ func LoadCache(path string) (*Cache, error) {
 		if _, ok := c.entries[e.Key]; ok {
 			continue
 		}
-		c.entries[e.Key] = c.order.PushFront(&lruEntry{key: e.Key, res: e.Result})
+		// Re-compact before verifying: the raw bytes carry the file's
+		// indentation, while the checksum is over the canonical compact
+		// encoding.
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, e.Result); err != nil || entrySum(e.Key, compact.Bytes()) != e.Sum {
+			c.corrupt++
+			continue
+		}
+		var r core.Result
+		if err := json.Unmarshal(e.Result, &r); err != nil {
+			c.corrupt++
+			continue
+		}
+		c.entries[e.Key] = c.order.PushFront(&lruEntry{key: e.Key, res: r})
 	}
 	return c, nil
 }

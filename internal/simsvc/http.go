@@ -2,27 +2,36 @@ package simsvc
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /sweeps               submit a sweep (SweepRequest JSON) -> Status
+//	POST   /sweeps               submit a sweep (SweepRequest JSON) -> Status;
+//	                             429 + Retry-After when the queue is full
 //	GET    /sweeps               list job statuses
 //	GET    /sweeps/{id}          one job's status
-//	DELETE /sweeps/{id}          cancel a job
+//	DELETE /sweeps/{id}          cancel a job (idempotent: 200 while it can
+//	                             be or already is cancelled, 409 once finished)
 //	GET    /sweeps/{id}/progress stream per-run progress lines (text/plain)
 //	GET    /sweeps/{id}/export   harness.Export JSON (blocks until done);
 //	                             ablation jobs return AblationExport instead
-//	GET    /healthz              liveness probe
+//	GET    /healthz              liveness probe: Health JSON; 200 while
+//	                             serving ("ok"/"degraded"), 503 draining
 //	GET    /metrics              Prometheus-style counters
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		h := s.Health()
+		code := http.StatusOK
+		if h.Status == "draining" {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /sweeps", s.handleSubmit)
@@ -53,6 +62,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Submit(req)
 	if err == ErrClosed {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		w.Header().Set("Retry-After", strconv.Itoa(int(oe.RetryAfter.Round(time.Second)/time.Second)))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
 	}
 	if err != nil {
@@ -86,11 +101,24 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleCancel cancels a job. DELETE is idempotent: cancelling a running
+// job and re-cancelling an already-cancelled one both return 200 with the
+// job's status; a job that already finished (done/failed/degraded) cannot
+// be cancelled and returns 409 explaining why.
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
-	if j, ok := s.job(w, r); ok {
-		j.Cancel()
-		writeJSON(w, http.StatusOK, j.Status())
+	j, ok := s.job(w, r)
+	if !ok {
+		return
 	}
+	did, state := j.TryCancel()
+	if !did && state != JobCancelled {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("sweep %s already finished (%s); nothing to cancel", j.ID, state),
+			"state": string(state),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
 }
 
 // handleProgress streams progress lines as they are produced, one per
@@ -122,8 +150,12 @@ func (s *Service) handleProgress(w http.ResponseWriter, r *http.Request) {
 		case <-j.Done():
 			flush()
 			st := j.Status()
-			fmt.Fprintf(w, "# sweep %s: %s (%d/%d runs, %d cached)\n",
+			trailer := fmt.Sprintf("# sweep %s: %s (%d/%d runs, %d cached",
 				st.ID, st.State, st.Completed, st.Total, st.Cached)
+			if st.Failed > 0 || st.Retries > 0 {
+				trailer += fmt.Sprintf(", %d failed, %d retries", st.Failed, st.Retries)
+			}
+			fmt.Fprintln(w, trailer+")")
 			return
 		case <-r.Context().Done():
 			return

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -17,11 +18,26 @@ const (
 	JobDone      JobState = "done"
 	JobFailed    JobState = "failed"
 	JobCancelled JobState = "cancelled"
+	// JobDegraded is a sweep that completed with some cells permanently
+	// failed: the surviving cells are exportable (filtered to workloads
+	// with no failures), the failures are itemized in Status.
+	JobDegraded JobState = "degraded"
 )
+
+// Terminal reports whether a state is final.
+func (s JobState) Terminal() bool { return s != JobRunning }
 
 // ErrCancelled marks cells abandoned because their job (or the service)
 // was cancelled.
 var ErrCancelled = errors.New("simsvc: job cancelled")
+
+// Failure itemizes one permanently-failed cell in a job's status.
+type Failure struct {
+	Cell     string `json:"cell"` // "workload/variant/model"
+	Kind     string `json:"kind"` // exec | panic | timeout | stall
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
+}
 
 // Job is one submitted sweep: its resolved options, per-cell results as
 // they arrive, and progress lines for streaming.
@@ -39,14 +55,25 @@ type Job struct {
 	ablation bool
 	cellRes  []core.Result
 
+	// onTerminal, set by the service before the job starts, observes the
+	// transition to a terminal state (persistence scheduling, registry
+	// eviction). Called exactly once, outside j.mu.
+	onTerminal func(*Job)
+
 	mu        sync.Mutex
 	state     JobState
 	total     int
 	completed int
 	cached    int
+	failed    int
+	retries   uint64
+	failures  []Failure
+	failedIdx map[int]bool    // ablation cells that failed (by index)
+	failedWl  map[string]bool // workloads with ≥ 1 failed cell
 	progress  []string
 	runs      map[harness.Key]core.Result
 	err       error
+	finished  time.Time
 	done      chan struct{}
 }
 
@@ -60,30 +87,84 @@ func (j *Job) Options() harness.Options { return j.opt }
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// Cancel abandons the job: cells not yet started are skipped; a cell
-// already simulating still completes (and populates the cache) but is no
-// longer recorded against this job.
-func (j *Job) Cancel() {
-	j.mu.Lock()
-	if j.state == JobRunning {
-		j.state = JobCancelled
-		j.err = ErrCancelled
-		close(j.done)
+// finish moves the job into a terminal state. Caller holds j.mu; the
+// returned func (the onTerminal notification) must be invoked after j.mu
+// is released.
+func (j *Job) finish(state JobState, err error) func() {
+	j.state = state
+	j.err = err
+	j.finished = time.Now()
+	close(j.done)
+	if j.onTerminal == nil {
+		return func() {}
 	}
+	return func() { j.onTerminal(j) }
+}
+
+// TryCancel atomically cancels the job if it is still running. It returns
+// whether this call performed the cancellation, plus the state afterwards
+// — so callers can distinguish "cancelled now" (true, cancelled),
+// "already cancelled" (false, cancelled — idempotent success) and
+// "already finished" (false, done/failed/degraded — a conflict).
+func (j *Job) TryCancel() (bool, JobState) {
+	j.mu.Lock()
+	if j.state != JobRunning {
+		st := j.state
+		j.mu.Unlock()
+		return false, st
+	}
+	note := j.finish(JobCancelled, ErrCancelled)
 	j.mu.Unlock()
 	j.cancel()
+	note()
+	return true, JobCancelled
 }
+
+// Cancel abandons the job: cells not yet started are skipped; a cell
+// already simulating is abandoned once no other live job waits on it.
+func (j *Job) Cancel() { j.TryCancel() }
 
 // terminal reports whether the job has finished (under j.mu).
 func (j *Job) terminal() bool { return j.state != JobRunning }
 
-// deliver records one completed cell. idx is the cell's index in the
-// job's enumeration order (ablation jobs record by index; sweep jobs by
-// harness.Key).
-func (j *Job) deliver(idx int, k harness.Key, r core.Result, line string, fromCache bool) {
+// Terminal reports whether the job has finished.
+func (j *Job) Terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.terminal()
+}
+
+// FinishedAt returns when the job reached a terminal state (zero while
+// running).
+func (j *Job) FinishedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished
+}
+
+// maybeFinish closes out the job when every cell is accounted for.
+// Caller holds j.mu; returns the deferred onTerminal notification.
+func (j *Job) maybeFinish() func() {
+	if j.completed+j.failed < j.total {
+		return func() {}
+	}
+	if j.failed == 0 {
+		return j.finish(JobDone, nil)
+	}
+	if j.completed == 0 {
+		return j.finish(JobFailed, errors.New("simsvc: every cell failed"))
+	}
+	return j.finish(JobDegraded, nil)
+}
+
+// deliver records one completed cell. idx is the cell's index in the
+// job's enumeration order (ablation jobs record by index; sweep jobs by
+// harness.Key). retries counts attempts beyond the first that the cell
+// needed.
+func (j *Job) deliver(idx int, k harness.Key, r core.Result, line string, fromCache bool, retries int) {
+	j.mu.Lock()
 	if j.terminal() {
+		j.mu.Unlock()
 		return
 	}
 	if j.ablation {
@@ -92,31 +173,56 @@ func (j *Job) deliver(idx int, k harness.Key, r core.Result, line string, fromCa
 		j.runs[k] = r
 	}
 	j.completed++
+	j.retries += uint64(retries)
 	if fromCache {
 		j.cached++
 	}
 	j.progress = append(j.progress, line)
-	if j.completed == j.total {
-		j.state = JobDone
-		close(j.done)
+	note := j.maybeFinish()
+	j.mu.Unlock()
+	note()
+}
+
+// cellFail records one permanently-failed cell; the job keeps running and
+// finishes degraded (or failed, if nothing succeeded) once every cell is
+// accounted for.
+func (j *Job) cellFail(idx int, k harness.Key, f Failure, line string, retries int) {
+	j.mu.Lock()
+	if j.terminal() {
+		j.mu.Unlock()
+		return
 	}
+	j.failed++
+	j.retries += uint64(retries)
+	j.failures = append(j.failures, f)
+	if j.failedIdx == nil {
+		j.failedIdx = make(map[int]bool)
+		j.failedWl = make(map[string]bool)
+	}
+	j.failedIdx[idx] = true
+	j.failedWl[k.Workload] = true
+	j.progress = append(j.progress, line)
+	note := j.maybeFinish()
+	j.mu.Unlock()
+	note()
 }
 
 // fail moves the job to failed (or cancelled, for cancellation errors).
 func (j *Job) fail(err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.terminal() {
+		j.mu.Unlock()
 		return
 	}
-	j.err = err
+	var note func()
 	if errors.Is(err, context.Canceled) || errors.Is(err, ErrCancelled) {
-		j.state = JobCancelled
+		note = j.finish(JobCancelled, err)
 	} else {
-		j.state = JobFailed
+		note = j.finish(JobFailed, err)
 	}
-	close(j.done)
+	j.mu.Unlock()
 	j.cancel()
+	note()
 }
 
 // skip abandons one cell because the job or service is shutting down.
@@ -129,7 +235,13 @@ type Status struct {
 	Total     int      `json:"total_runs"`
 	Completed int      `json:"completed_runs"`
 	Cached    int      `json:"cached_runs"`
-	Error     string   `json:"error,omitempty"`
+	// Failed counts permanently-failed cells; Retries counts cell
+	// attempts beyond the first across the job; Failures itemizes the
+	// failed cells.
+	Failed   int       `json:"failed_runs,omitempty"`
+	Retries  uint64    `json:"retries,omitempty"`
+	Failures []Failure `json:"failures,omitempty"`
+	Error    string    `json:"error,omitempty"`
 }
 
 // Status snapshots the job.
@@ -142,6 +254,9 @@ func (j *Job) Status() Status {
 		Total:     j.total,
 		Completed: j.completed,
 		Cached:    j.cached,
+		Failed:    j.failed,
+		Retries:   j.retries,
+		Failures:  append([]Failure(nil), j.failures...),
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -165,24 +280,41 @@ func (j *Job) ProgressSince(i int) ([]string, int) {
 }
 
 // Results assembles the completed sweep in the harness's form, so the
-// service's export is produced by exactly the code path the CLI uses.
+// service's export is produced by exactly the code path the CLI uses. A
+// degraded job exports the surviving configuration: workloads with any
+// failed cell are dropped entirely (a partial workload would corrupt the
+// normalized-time aggregation, which divides by the workload's Unsafe
+// baseline), making the export byte-identical to a fault-free run of the
+// remaining workloads.
 func (j *Job) Results() (*harness.Results, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.ablation {
 		return nil, errors.New("simsvc: ablation job has no sweep export (see Ablations)")
 	}
-	if j.state != JobDone {
+	if j.state != JobDone && j.state != JobDegraded {
 		if j.err != nil {
 			return nil, j.err
 		}
 		return nil, errors.New("simsvc: job still running")
 	}
+	opt := j.opt
+	if len(j.failedWl) > 0 {
+		opt.Workloads = nil
+		for _, wl := range j.opt.Workloads {
+			if !j.failedWl[wl.Name] {
+				opt.Workloads = append(opt.Workloads, wl)
+			}
+		}
+	}
 	runs := make(map[harness.Key]core.Result, len(j.runs))
 	for k, r := range j.runs {
+		if j.failedWl[k.Workload] {
+			continue
+		}
 		runs[k] = r
 	}
-	return &harness.Results{Opt: j.opt, Runs: runs}, nil
+	return &harness.Results{Opt: opt, Runs: runs}, nil
 }
 
 // AblationSection is one attack model's ablation table.
@@ -202,14 +334,16 @@ type AblationExport struct {
 // Ablations aggregates a completed ablation job into per-model tables,
 // using the same aggregation the CLI's RunAblations performs. Cell order
 // (fixed by Submit) is model-major, then workload, then 1 Unsafe baseline
-// followed by the harness's ablation rows.
+// followed by the harness's ablation rows. In a degraded job, a workload
+// block containing any failed cell is zeroed, which AggregateAblations
+// skips — matching the CLI's tolerant-ablation behavior.
 func (j *Job) Ablations() (*AblationExport, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if !j.ablation {
 		return nil, errors.New("simsvc: not an ablation job")
 	}
-	if j.state != JobDone {
+	if j.state != JobDone && j.state != JobDegraded {
 		if j.err != nil {
 			return nil, j.err
 		}
@@ -224,8 +358,17 @@ func (j *Job) Ablations() (*AblationExport, error) {
 		cycles := make([][]uint64, len(j.opt.Workloads))
 		for wi := range j.opt.Workloads {
 			wc := make([]uint64, perWorkload)
+			blockFailed := false
 			for ci := 0; ci < perWorkload; ci++ {
-				wc[ci] = j.cellRes[mi*perModel+wi*perWorkload+ci].Cycles
+				idx := mi*perModel + wi*perWorkload + ci
+				if j.failedIdx[idx] {
+					blockFailed = true
+					break
+				}
+				wc[ci] = j.cellRes[idx].Cycles
+			}
+			if blockFailed {
+				wc = make([]uint64, perWorkload)
 			}
 			cycles[wi] = wc
 		}

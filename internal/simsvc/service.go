@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -26,10 +27,89 @@ type Config struct {
 	// CacheMaxEntries bounds the result cache; least-recently-used
 	// results are evicted past the bound (0: unbounded).
 	CacheMaxEntries int
+
+	// MaxAttempts bounds attempts per cell: transiently-failed cells
+	// (panic, timeout, stall) are retried with exponential backoff up to
+	// this many total attempts (0: default 3; 1: no retries).
+	MaxAttempts int
+	// RetryBackoff is the base retry delay, doubling per attempt with
+	// deterministic jitter (0: default 200ms).
+	RetryBackoff time.Duration
+	// CellTimeout is a wall-clock deadline per cell attempt (0: none).
+	CellTimeout time.Duration
+	// StallTimeout kills a cell attempt whose committed-instruction count
+	// stops advancing for this long (0: no stall watchdog).
+	StallTimeout time.Duration
+	// MaxPendingCells bounds the pending work queue: a submission whose
+	// cells would push the queue past this bound is rejected with an
+	// *OverloadError (HTTP 429 + Retry-After). 0: unbounded.
+	MaxPendingCells int
+	// JobTTL evicts finished jobs from the registry this long after they
+	// reach a terminal state (0: no TTL eviction).
+	JobTTL time.Duration
+	// MaxJobs bounds the job registry; the oldest finished jobs are
+	// evicted past the bound (0: default 4096). Running jobs are never
+	// evicted.
+	MaxJobs int
+	// PersistFailureLimit is how many consecutive cache-persist failures
+	// switch the cache to memory-only mode (0: default 3).
+	PersistFailureLimit int
+	// RetryStormThreshold marks health degraded when at least this many
+	// retries happen within one minute (0: default 50).
+	RetryStormThreshold int
+	// Faults injects chaos faults into cell execution and cache I/O
+	// (nil in production: zero cost).
+	Faults *faults.Injector
+	// Recorder, when non-nil, receives ClassFault events (cell failures,
+	// retries, quarantine, persistence degradation).
+	Recorder *obs.Recorder
+}
+
+// withDefaults fills the zero-value policy knobs.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = harness.Options{Parallel: true}.Workers()
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 200 * time.Millisecond
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.PersistFailureLimit <= 0 {
+		c.PersistFailureLimit = 3
+	}
+	if c.RetryStormThreshold <= 0 {
+		c.RetryStormThreshold = 50
+	}
+	return c
 }
 
 // ErrClosed is returned by Submit after Shutdown has begun.
 var ErrClosed = errors.New("simsvc: service is shut down")
+
+// OverloadError rejects a submission that would overflow the bounded
+// pending-cell queue. RetryAfter estimates when capacity should free up.
+type OverloadError struct {
+	Pending    int
+	Limit      int
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("simsvc: overloaded: %d cells pending (limit %d); retry in ~%s",
+		e.Pending, e.Limit, e.RetryAfter.Round(time.Second))
+}
+
+// retryWindow is the sliding window for retry-storm detection.
+const retryWindow = time.Minute
+
+// persistDebounce batches terminal-job persist triggers: results landing
+// within this window of each other are written in one save.
+const persistDebounce = 100 * time.Millisecond
 
 // Service schedules sweep jobs over the shared harness worker pool,
 // deduplicates identical in-flight runs, and answers repeated cells from
@@ -40,6 +120,8 @@ type Service struct {
 	pool   *harness.Pool
 	ctx    context.Context
 	cancel context.CancelFunc
+	inj    *faults.Injector
+	rec    *obs.Recorder
 
 	mu       sync.Mutex
 	closed   bool
@@ -56,12 +138,37 @@ type Service struct {
 	ckMu  sync.Mutex
 	ckpts map[string]*ckFlight
 
+	// Write-behind cache persistence: schedulePersist debounces a
+	// background save after each terminal job; repeated failures flip
+	// the cache to memory-only (cacheDegraded).
+	persistMu      sync.Mutex
+	persistPending bool
+	persistStopped bool
+	bg             sync.WaitGroup
+
+	// Retry-storm detection: timestamps of recent retries.
+	retryMu    sync.Mutex
+	retryTimes []time.Time
+
 	// Metrics (see /metrics).
 	runsExecuted atomic.Uint64 // simulations actually run
 	runsDeduped  atomic.Uint64 // cells that joined an in-flight identical run
 	runsSkipped  atomic.Uint64 // cells abandoned by cancellation/shutdown
 	runNanos     atomic.Uint64 // cumulative wall time of executed runs
 	jobsTotal    atomic.Uint64
+
+	retriesTotal atomic.Uint64 // cell attempts beyond the first
+	cellsFailed  atomic.Uint64 // cells that failed permanently
+	cellPanics   atomic.Uint64 // attempts that panicked (recovered)
+	cellTimeouts atomic.Uint64 // attempts killed by the wall-clock deadline
+	cellStalls   atomic.Uint64 // attempts killed by the stall watchdog
+	jobsRejected atomic.Uint64 // submissions refused by backpressure
+	jobsEvicted  atomic.Uint64 // finished jobs dropped from the registry
+
+	persistFailures   atomic.Uint64 // cache persist failures (total)
+	persistFailStreak atomic.Uint64 // consecutive persist failures
+	cacheDegraded     atomic.Bool   // persistence disabled (memory-only)
+	cacheLoadFailed   atomic.Bool   // startup cache load failed (started empty)
 
 	ckptsCaptured   atomic.Uint64 // warmup checkpoints captured
 	ckptHits        atomic.Uint64 // cells that restored an existing checkpoint
@@ -92,32 +199,50 @@ type ckFlight struct {
 }
 
 // New starts a service. The persisted cache at cfg.CachePath, if any, is
-// loaded so a restarted server answers repeated sweeps from cache.
+// loaded so a restarted server answers repeated sweeps from cache; an
+// unreadable cache never prevents startup — the service starts with an
+// empty cache and reports degraded health until the next successful
+// persist.
 func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	loadFailed := false
 	cache := NewCache()
 	if cfg.CachePath != "" {
-		var err error
-		if cache, err = LoadCache(cfg.CachePath); err != nil {
-			return nil, err
+		if loaded, err := loadCache(cfg.CachePath, cfg.Faults); err == nil {
+			cache = loaded
+		} else {
+			loadFailed = true
 		}
 	}
+	cache.SetFaults(cfg.Faults)
 	cache.SetMaxEntries(cfg.CacheMaxEntries)
-	if cfg.Workers <= 0 {
-		cfg.Workers = harness.Options{Parallel: true}.Workers()
-	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:      cfg,
 		cache:    cache,
 		ctx:      ctx,
 		cancel:   cancel,
+		inj:      cfg.Faults,
+		rec:      cfg.Recorder,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*flight),
 		ckpts:    make(map[string]*ckFlight),
 	}
+	if loadFailed {
+		s.cacheLoadFailed.Store(true)
+		s.event("cache-load-failed", cfg.CachePath)
+	}
 	s.pool = harness.NewPool(ctx, cfg.Workers)
 	s.registerMetrics()
 	return s, nil
+}
+
+// event emits a ClassFault observability event (nil recorder: one nil
+// check, no allocation).
+func (s *Service) event(kind, detail string) {
+	if s.rec.On(obs.ClassFault) {
+		s.rec.Emit(obs.Event{Class: obs.ClassFault, Kind: kind, Detail: detail})
+	}
 }
 
 // registerMetrics builds the /metrics registry. Counter/gauge values
@@ -138,6 +263,19 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(s.cache.Len()) })
 	gau("sdo_cache_max_entries", "Configured result-cache bound (0: unbounded).",
 		func() float64 { return float64(s.cache.MaxEntries()) })
+	ctr("sdo_cache_corrupt_entries_total", "Persisted entries dropped by checksum verification.",
+		func() float64 { return float64(s.cache.CorruptEntries()) })
+	ctr("sdo_cache_quarantined_files_total", "Unparseable cache files quarantined (renamed aside).",
+		func() float64 { return float64(s.cache.QuarantinedFiles()) })
+	ctr("sdo_cache_persist_failures_total", "Cache persist attempts that failed.",
+		func() float64 { return float64(s.persistFailures.Load()) })
+	gau("sdo_cache_persistence_enabled", "1 while the cache persists to disk, 0 when memory-only.",
+		func() float64 {
+			if s.cfg.CachePath == "" || s.cacheDegraded.Load() {
+				return 0
+			}
+			return 1
+		})
 	gau("sdo_queue_depth", "Cells waiting for a worker.",
 		func() float64 { return float64(s.pool.QueueDepth()) })
 	gau("sdo_inflight_runs", "Cells currently executing.",
@@ -152,8 +290,30 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(s.runsSkipped.Load()) })
 	ctr("sdo_run_seconds_total", "Cumulative wall time of executed simulations.",
 		func() float64 { return float64(s.runNanos.Load()) / 1e9 })
+	ctr("sdo_runs_retried_total", "Cell attempts beyond the first (transient-failure retries).",
+		func() float64 { return float64(s.retriesTotal.Load()) })
+	ctr("sdo_cells_failed_total", "Cells that failed permanently (retries exhausted or non-retryable).",
+		func() float64 { return float64(s.cellsFailed.Load()) })
+	ctr("sdo_cell_panics_total", "Cell attempts that panicked (recovered in isolation).",
+		func() float64 { return float64(s.cellPanics.Load()) })
+	ctr("sdo_cell_timeouts_total", "Cell attempts killed by the per-cell deadline.",
+		func() float64 { return float64(s.cellTimeouts.Load()) })
+	ctr("sdo_cell_stalls_total", "Cell attempts killed by the progress-based stall watchdog.",
+		func() float64 { return float64(s.cellStalls.Load()) })
 	ctr("sdo_jobs_total", "Sweep jobs submitted.",
 		func() float64 { return float64(s.jobsTotal.Load()) })
+	ctr("sdo_jobs_rejected_total", "Submissions rejected by queue backpressure (HTTP 429).",
+		func() float64 { return float64(s.jobsRejected.Load()) })
+	ctr("sdo_jobs_evicted_total", "Finished jobs evicted from the registry (TTL or count bound).",
+		func() float64 { return float64(s.jobsEvicted.Load()) })
+	gau("sdo_jobs_tracked", "Jobs currently in the registry.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.jobs))
+		})
+	ctr("sdo_faults_injected_total", "Chaos faults injected (0 unless fault injection is enabled).",
+		func() float64 { return float64(s.inj.Stats().Total()) })
 	ctr("sdo_checkpoints_captured_total", "Functional-warmup checkpoints captured.",
 		func() float64 { return float64(s.ckptsCaptured.Load()) })
 	ctr("sdo_checkpoint_hits_total", "Cells that restored an existing warmup checkpoint.",
@@ -174,6 +334,68 @@ func (s *Service) Registry() *obs.Registry { return s.reg }
 // Cache exposes the service's result cache (read-mostly: tests and
 // metrics).
 func (s *Service) Cache() *Cache { return s.cache }
+
+// Health is the /healthz document.
+type Health struct {
+	// Status is "ok", "degraded" (serving, but impaired — see Reasons)
+	// or "draining" (shutdown underway; not serving new work).
+	Status  string   `json:"status"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Health reports the service's operational state: "draining" once
+// shutdown has begun, "degraded" while impaired (cache fell back to
+// memory-only, startup cache load failed, or a retry storm is underway),
+// otherwise "ok".
+func (s *Service) Health() Health {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return Health{Status: "draining"}
+	}
+	var reasons []string
+	if s.cacheDegraded.Load() {
+		reasons = append(reasons, "cache-degraded")
+	}
+	if s.cacheLoadFailed.Load() {
+		reasons = append(reasons, "cache-load-failed")
+	}
+	if s.retryStorm() {
+		reasons = append(reasons, "retry-storm")
+	}
+	if len(reasons) > 0 {
+		return Health{Status: "degraded", Reasons: reasons}
+	}
+	return Health{Status: "ok"}
+}
+
+// noteRetry records a retry timestamp for storm detection.
+func (s *Service) noteRetry() {
+	now := time.Now()
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	cut := 0
+	for cut < len(s.retryTimes) && now.Sub(s.retryTimes[cut]) > retryWindow {
+		cut++
+	}
+	s.retryTimes = append(s.retryTimes[cut:], now)
+}
+
+// retryStorm reports whether retries within the window exceed the
+// configured threshold.
+func (s *Service) retryStorm() bool {
+	now := time.Now()
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	n := 0
+	for _, t := range s.retryTimes {
+		if now.Sub(t) <= retryWindow {
+			n++
+		}
+	}
+	return n >= s.cfg.RetryStormThreshold
+}
 
 // SweepRequest selects a sweep. Empty lists mean "all"; a zero MaxInstrs
 // means the default budget; a nil WarmupInstrs means the default warmup
@@ -311,7 +533,27 @@ func ablationCells(opt harness.Options) []RunSpec {
 	return cells
 }
 
-// Submit validates, registers and enqueues a sweep job.
+// retryAfter estimates how long until MaxPendingCells of queue depth
+// drains: pending cells divided across the workers at the observed mean
+// run time (1s when nothing has run yet), clamped to [1s, 5m].
+func (s *Service) retryAfter(pending int) time.Duration {
+	avg := time.Second
+	if n := s.runsExecuted.Load(); n > 0 {
+		avg = time.Duration(s.runNanos.Load() / n)
+	}
+	d := time.Duration(pending) * avg / time.Duration(s.cfg.Workers)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 5*time.Minute {
+		d = 5 * time.Minute
+	}
+	return d
+}
+
+// Submit validates, registers and enqueues a sweep job. When the pending
+// queue is over the configured bound, it returns an *OverloadError
+// without registering anything.
 func (s *Service) Submit(req SweepRequest) (*Job, error) {
 	opt, cells, err := s.resolve(req)
 	if err != nil {
@@ -334,12 +576,22 @@ func (s *Service) Submit(req SweepRequest) (*Job, error) {
 	if j.ablation {
 		j.cellRes = make([]core.Result, len(cells))
 	}
+	j.onTerminal = s.jobFinished
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		jcancel()
 		return nil, ErrClosed
+	}
+	s.evictJobsLocked()
+	if lim := s.cfg.MaxPendingCells; lim > 0 {
+		if pending := s.pool.QueueDepth(); pending+len(cells) > lim {
+			s.mu.Unlock()
+			jcancel()
+			s.jobsRejected.Add(1)
+			return nil, &OverloadError{Pending: pending, Limit: lim, RetryAfter: s.retryAfter(pending + len(cells))}
+		}
 	}
 	s.nextID++
 	j.ID = fmt.Sprintf("sweep-%d", s.nextID)
@@ -356,9 +608,48 @@ func (s *Service) Submit(req SweepRequest) (*Job, error) {
 	return j, nil
 }
 
+// jobFinished observes a job reaching a terminal state: the result cache
+// is persisted write-behind and the registry bound is enforced.
+func (s *Service) jobFinished(*Job) {
+	s.mu.Lock()
+	s.evictJobsLocked()
+	s.mu.Unlock()
+	s.schedulePersist()
+}
+
+// evictJobsLocked enforces the registry bounds (caller holds s.mu):
+// finished jobs past JobTTL are dropped, then the oldest finished jobs
+// until MaxJobs is met. Running jobs are never evicted.
+func (s *Service) evictJobsLocked() {
+	now := time.Now()
+	evict := func(pred func(*Job) bool) {
+		kept := s.order[:0]
+		for _, id := range s.order {
+			j := s.jobs[id]
+			if j.Terminal() && pred(j) {
+				delete(s.jobs, id)
+				s.jobsEvicted.Add(1)
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.order = kept
+	}
+	if ttl := s.cfg.JobTTL; ttl > 0 {
+		evict(func(j *Job) bool { return now.Sub(j.FinishedAt()) > ttl })
+	}
+	if max := s.cfg.MaxJobs; max > 0 && len(s.order) > max {
+		over := len(s.order) - max
+		evict(func(*Job) bool { over--; return over >= 0 })
+	}
+}
+
 // checkpoint returns the warmup checkpoint for key, capturing it on first
 // use (singleflight: concurrent cells for the same workload block until
-// the one capture finishes).
+// the one capture finishes). A panicking capture is isolated: this cell
+// (and any that were blocked on the flight) gets nil and falls back to
+// in-place warmup; the flight is dropped so a later cell can retry the
+// capture.
 func (s *Service) checkpoint(key string, wl workload.Workload, warmup uint64) *arch.Checkpoint {
 	s.ckMu.Lock()
 	f, ok := s.ckpts[key]
@@ -366,15 +657,30 @@ func (s *Service) checkpoint(key string, wl workload.Workload, warmup uint64) *a
 		f = &ckFlight{done: make(chan struct{})}
 		s.ckpts[key] = f
 		s.ckMu.Unlock()
-		f.ck = harness.CaptureCheckpoint(wl, warmup)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					s.event("checkpoint-panic", fmt.Sprintf("%s: %v", key, r))
+				}
+				close(f.done)
+			}()
+			f.ck = harness.CaptureCheckpoint(wl, warmup)
+		}()
+		if f.ck == nil {
+			s.ckMu.Lock()
+			delete(s.ckpts, key)
+			s.ckMu.Unlock()
+			return nil
+		}
 		s.ckptsCaptured.Add(1)
 		s.warmupSimulated.Add(f.ck.Arch.Instrs)
-		close(f.done)
 		return f.ck
 	}
 	s.ckMu.Unlock()
 	<-f.done
-	s.ckptHits.Add(1)
+	if f.ck != nil {
+		s.ckptHits.Add(1)
+	}
 	return f.ck
 }
 
@@ -397,9 +703,51 @@ func (s *Service) Jobs() []*Job {
 	return out
 }
 
+// flightAbandoned reports whether no job waiting on the in-flight run
+// keyed by key is still alive — the condition under which a mid-run cell
+// is aborted rather than finished.
+func (s *Service) flightAbandoned(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.inflight[key]
+	if !ok {
+		return false
+	}
+	for _, w := range f.waiters {
+		if !w.job.Terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// cellEvent counts per-attempt outcomes from the harness (metrics +
+// observability).
+func (s *Service) cellEvent(ev harness.CellEvent) {
+	switch ev.Kind {
+	case "retry":
+		s.retriesTotal.Add(1)
+		s.noteRetry()
+	case "panic":
+		s.cellPanics.Add(1)
+	case "timeout":
+		s.cellTimeouts.Add(1)
+	case "stall":
+		s.cellStalls.Add(1)
+	}
+	if s.rec.On(obs.ClassFault) {
+		s.rec.Emit(obs.Event{Class: obs.ClassFault, Kind: "cell-" + ev.Kind,
+			Detail: fmt.Sprintf("%s/%v/%v attempt %d: %v",
+				ev.Key.Workload, ev.Key.Variant, ev.Key.Model, ev.Attempt, ev.Err)})
+	}
+}
+
 // runCell executes (or resolves from cache / an identical in-flight run)
 // one cell on a pool worker. idx is the cell's index in its job's
-// enumeration order.
+// enumeration order. Execution is hardened: panics are isolated, the
+// configured deadline/stall watchdog applies, and transient failures
+// retry with backoff; a permanent failure degrades the waiting jobs
+// instead of killing them.
 func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, enqueued time.Time) {
 	s.queueLat.Observe(time.Since(enqueued).Seconds())
 	if ctx.Err() != nil || j.ctx.Err() != nil {
@@ -412,26 +760,28 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 		j.fail(err)
 		return
 	}
+	k := spec.Key()
 	line := func(r core.Result, note string) string {
-		return harness.FormatProgress(spec.Key(), r) + note
+		return harness.FormatProgress(k, r) + note
 	}
 	if r, ok := s.cache.Get(key); ok {
-		j.deliver(idx, spec.Key(), r, line(r, "  [cached]"), true)
+		j.deliver(idx, k, r, line(r, "  [cached]"), true, 0)
 		return
 	}
 	s.mu.Lock()
 	if f, ok := s.inflight[key]; ok {
-		f.waiters = append(f.waiters, delivery{job: j, idx: idx, key: spec.Key()})
+		f.waiters = append(f.waiters, delivery{job: j, idx: idx, key: k})
 		s.mu.Unlock()
 		s.runsDeduped.Add(1)
 		return
 	}
-	f := &flight{waiters: []delivery{{job: j, idx: idx, key: spec.Key()}}}
+	f := &flight{waiters: []delivery{{job: j, idx: idx, key: k}}}
 	s.inflight[key] = f
 	s.mu.Unlock()
 
 	wl, err := workload.ByName(spec.Workload)
 	var r core.Result
+	var retries int
 	if err == nil {
 		p := harness.RunParams{
 			WarmupInstrs:   spec.WarmupInstrs,
@@ -442,14 +792,30 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 		if spec.WarmupMode == core.WarmupFunctional && spec.WarmupInstrs > 0 {
 			var ckKey string
 			if ckKey, err = spec.CheckpointKey(); err == nil {
-				p.Checkpoint = s.checkpoint(ckKey, wl, spec.WarmupInstrs)
+				if p.Checkpoint = s.checkpoint(ckKey, wl, spec.WarmupInstrs); p.Checkpoint == nil {
+					// Capture failed: degrade to in-place functional
+					// warmup for this cell (bit-identical, just slower).
+					s.warmupSimulated.Add(spec.WarmupInstrs)
+				}
 			}
 		} else if spec.WarmupInstrs > 0 {
 			s.warmupSimulated.Add(spec.WarmupInstrs)
 		}
 		if err == nil {
+			pol := harness.RunPolicy{
+				MaxAttempts:  s.cfg.MaxAttempts,
+				RetryBackoff: s.cfg.RetryBackoff,
+				CellTimeout:  s.cfg.CellTimeout,
+				StallTimeout: s.cfg.StallTimeout,
+				Abort:        func() bool { return s.flightAbandoned(key) },
+				Notify:       s.cellEvent,
+			}
+			// The cell runs under a non-cancelling context: shutdown
+			// drains in-flight cells (complete-and-persist), and a
+			// cancelled job's cells abort via pol.Abort only once no
+			// other live job waits on them.
 			start := time.Now()
-			r, err = harness.RunOne(wl, spec.Variant, spec.Model, spec.Ablate, p)
+			r, retries, err = harness.RunCell(context.Background(), wl, spec.Variant, spec.Model, spec.Ablate, p, pol, s.inj)
 			elapsed := time.Since(start)
 			s.runNanos.Add(uint64(elapsed))
 			s.runDur.Observe(elapsed.Seconds())
@@ -464,20 +830,96 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 	delete(s.inflight, key)
 	waiters := f.waiters
 	s.mu.Unlock()
-	for _, w := range waiters {
-		if err != nil {
+
+	var ce *harness.CellError
+	switch {
+	case err == nil:
+		for _, w := range waiters {
+			w.job.deliver(w.idx, w.key, r, line(r, ""), false, retries)
+		}
+	case errors.As(err, &ce):
+		// The cell failed permanently: degrade every waiting job rather
+		// than killing it.
+		s.cellsFailed.Add(1)
+		s.event("cell-failed", ce.Error())
+		fail := Failure{
+			Cell:     fmt.Sprintf("%s/%v/%v", k.Workload, k.Variant, k.Model),
+			Kind:     string(ce.Kind),
+			Attempts: ce.Attempts,
+			Error:    ce.Err.Error(),
+		}
+		failLine := fmt.Sprintf("%-14s %-11s %-10s FAILED: %s after %d attempt(s): %v",
+			k.Workload, k.Variant, k.Model, ce.Kind, ce.Attempts, ce.Err)
+		for _, w := range waiters {
+			w.job.cellFail(w.idx, w.key, fail, failLine, retries)
+		}
+	case errors.Is(err, harness.ErrCellAbandoned):
+		s.runsSkipped.Add(1)
+		for _, w := range waiters {
+			w.job.skip()
+		}
+	default:
+		// Infrastructure error (cancellation, unknown workload, bad
+		// checkpoint key): fail the waiting jobs outright.
+		for _, w := range waiters {
 			w.job.fail(fmt.Errorf("simsvc: %s/%v/%v: %w", spec.Workload, spec.Variant, spec.Model, err))
-		} else {
-			w.job.deliver(w.idx, w.key, r, line(r, ""), false)
 		}
 	}
 }
 
+// schedulePersist queues a debounced write-behind save of the result
+// cache (after each job reaches a terminal state), so a crash loses at
+// most the most recent debounce window, not the whole run's results.
+func (s *Service) schedulePersist() {
+	if s.cfg.CachePath == "" || s.cacheDegraded.Load() {
+		return
+	}
+	s.persistMu.Lock()
+	if s.persistStopped || s.persistPending {
+		s.persistMu.Unlock()
+		return
+	}
+	s.persistPending = true
+	s.bg.Add(1)
+	s.persistMu.Unlock()
+	go func() {
+		defer s.bg.Done()
+		time.Sleep(persistDebounce)
+		s.persistMu.Lock()
+		s.persistPending = false
+		if s.persistStopped {
+			s.persistMu.Unlock()
+			return
+		}
+		s.persistMu.Unlock()
+		s.persistNow()
+	}()
+}
+
+// persistNow saves the cache, tracking consecutive failures; past the
+// configured limit the cache degrades to memory-only mode (health:
+// degraded) instead of hammering a dead disk.
+func (s *Service) persistNow() {
+	err := s.cache.Save(s.cfg.CachePath)
+	if err == nil {
+		s.persistFailStreak.Store(0)
+		s.cacheLoadFailed.Store(false) // a fresh good file now exists
+		return
+	}
+	s.persistFailures.Add(1)
+	streak := s.persistFailStreak.Add(1)
+	s.event("persist-failed", err.Error())
+	if int(streak) >= s.cfg.PersistFailureLimit && s.cacheDegraded.CompareAndSwap(false, true) {
+		s.event("cache-degraded",
+			fmt.Sprintf("persistence disabled after %d consecutive failures: %v", streak, err))
+	}
+}
+
 // Shutdown stops intake, cancels queued-but-unstarted cells, lets
-// in-flight simulations finish, then persists the cache. Simulations are
-// not interruptible, so the pool is always waited for (nothing leaks);
-// if ctx expires during that wait the cache is still persisted and
-// ctx.Err() is reported.
+// in-flight simulations finish (a cell all of whose waiting jobs died is
+// aborted), then persists the cache. The pool is always waited for
+// (nothing leaks); if ctx expires during that wait the cache is still
+// persisted and ctx.Err() is reported.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -501,8 +943,15 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		waitErr = ctx.Err()
 		<-done
 	}
-	if s.cfg.CachePath != "" {
+	// Stop write-behind persists, wait for any in-flight one, then do
+	// one final synchronous save — unless persistence already degraded.
+	s.persistMu.Lock()
+	s.persistStopped = true
+	s.persistMu.Unlock()
+	s.bg.Wait()
+	if s.cfg.CachePath != "" && !s.cacheDegraded.Load() {
 		if err := s.cache.Save(s.cfg.CachePath); err != nil {
+			s.persistFailures.Add(1)
 			return err
 		}
 	}
@@ -524,6 +973,21 @@ type Metrics struct {
 	RunSeconds     float64
 	JobsTotal      uint64
 
+	Retries      uint64
+	CellsFailed  uint64
+	CellPanics   uint64
+	CellTimeouts uint64
+	CellStalls   uint64
+	JobsRejected uint64
+	JobsEvicted  uint64
+	JobsTracked  int
+
+	CacheCorruptEntries   uint64
+	CacheQuarantinedFiles uint64
+	PersistFailures       uint64
+	CacheDegraded         bool
+	FaultsInjected        uint64
+
 	CheckpointsCaptured   uint64
 	CheckpointHits        uint64
 	WarmupInstrsSimulated uint64
@@ -532,6 +996,9 @@ type Metrics struct {
 // Snapshot gathers the current metrics.
 func (s *Service) Snapshot() Metrics {
 	hits, misses := s.cache.Stats()
+	s.mu.Lock()
+	tracked := len(s.jobs)
+	s.mu.Unlock()
 	return Metrics{
 		CacheHits:      hits,
 		CacheMisses:    misses,
@@ -545,6 +1012,21 @@ func (s *Service) Snapshot() Metrics {
 		RunsSkipped:    s.runsSkipped.Load(),
 		RunSeconds:     float64(s.runNanos.Load()) / 1e9,
 		JobsTotal:      s.jobsTotal.Load(),
+
+		Retries:      s.retriesTotal.Load(),
+		CellsFailed:  s.cellsFailed.Load(),
+		CellPanics:   s.cellPanics.Load(),
+		CellTimeouts: s.cellTimeouts.Load(),
+		CellStalls:   s.cellStalls.Load(),
+		JobsRejected: s.jobsRejected.Load(),
+		JobsEvicted:  s.jobsEvicted.Load(),
+		JobsTracked:  tracked,
+
+		CacheCorruptEntries:   s.cache.CorruptEntries(),
+		CacheQuarantinedFiles: s.cache.QuarantinedFiles(),
+		PersistFailures:       s.persistFailures.Load(),
+		CacheDegraded:         s.cacheDegraded.Load(),
+		FaultsInjected:        s.inj.Stats().Total(),
 
 		CheckpointsCaptured:   s.ckptsCaptured.Load(),
 		CheckpointHits:        s.ckptHits.Load(),
