@@ -20,29 +20,34 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/harness"
+	"repro/internal/simpoint"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		fig6    = flag.Bool("fig6", false, "Figure 6: normalized execution time")
-		fig7    = flag.Bool("fig7", false, "Figure 7: overhead breakdown")
-		fig8    = flag.Bool("fig8", false, "Figure 8: squashes vs execution time")
-		table1  = flag.Bool("table1", false, "Table I: simulated architecture")
-		table2  = flag.Bool("table2", false, "Table II: design variants")
-		table3  = flag.Bool("table3", false, "Table III: predictor precision/accuracy")
-		summary = flag.Bool("summary", false, "§VIII-B headline summary")
-		ablate  = flag.Bool("ablate", false, "design-space ablations of individual SDO mechanisms")
-		asJSON  = flag.Bool("json", false, "emit the sweep as JSON instead of text reports")
-		export  = flag.String("export", "", "also write the sweep's JSON export to this file")
-		instrs  = flag.Uint64("instrs", 60_000, "measured instructions per run")
-		warmup  = flag.Uint64("warmup", 50_000, "warmup instructions per run")
-		wmode   = flag.String("warmup-mode", "detailed", "warmup mode: detailed (per-cell pipeline warmup) or functional (emulator warmup with per-workload checkpoints)")
-		noReuse = flag.Bool("no-checkpoint-reuse", false, "with -warmup-mode functional: re-run functional warmup per cell instead of reusing per-workload checkpoints (results are bit-identical; for measurement/CI)")
-		ivl     = flag.Uint64("interval", 0, "sample interval statistics every N cycles (included in -export/-json output)")
-		wls     = flag.String("workloads", "", "comma-separated subset (default: all)")
-		serial  = flag.Bool("serial", false, "disable parallel simulation")
-		verbose = flag.Bool("v", false, "print per-run progress")
+		fig6           = flag.Bool("fig6", false, "Figure 6: normalized execution time")
+		fig7           = flag.Bool("fig7", false, "Figure 7: overhead breakdown")
+		fig8           = flag.Bool("fig8", false, "Figure 8: squashes vs execution time")
+		table1         = flag.Bool("table1", false, "Table I: simulated architecture")
+		table2         = flag.Bool("table2", false, "Table II: design variants")
+		table3         = flag.Bool("table3", false, "Table III: predictor precision/accuracy")
+		summary        = flag.Bool("summary", false, "§VIII-B headline summary")
+		ablate         = flag.Bool("ablate", false, "design-space ablations of individual SDO mechanisms")
+		asJSON         = flag.Bool("json", false, "emit the sweep as JSON instead of text reports")
+		export         = flag.String("export", "", "also write the sweep's JSON export to this file")
+		instrs         = flag.Uint64("instrs", 60_000, "measured instructions per run")
+		warmup         = flag.Uint64("warmup", 50_000, "warmup instructions per run")
+		wmode          = flag.String("warmup-mode", "detailed", "warmup mode: detailed (per-cell pipeline warmup) or functional (emulator warmup with per-workload checkpoints)")
+		noReuse        = flag.Bool("no-checkpoint-reuse", false, "with -warmup-mode functional: re-run functional warmup per cell instead of reusing per-workload checkpoints (results are bit-identical; for measurement/CI)")
+		simMode        = flag.String("sim-mode", "detailed", "simulation mode: detailed (cycle-accurate whole window) or sampled (SimPoint-style BBV clustering, representative intervals only)")
+		sampleInterval = flag.Uint64("sample-interval", simpoint.DefaultIntervalInstrs, "sampled mode: interval length in committed instructions")
+		sampleMaxK     = flag.Int("sample-max-k", simpoint.DefaultMaxK, "sampled mode: maximum clusters/representatives per workload")
+		sampleSeed     = flag.Uint64("sample-seed", simpoint.DefaultSeed, "sampled mode: BBV projection / clustering seed")
+		ivl            = flag.Uint64("interval", 0, "sample interval statistics every N cycles (included in -export/-json output)")
+		wls            = flag.String("workloads", "", "comma-separated subset (default: all)")
+		serial         = flag.Bool("serial", false, "disable parallel simulation")
+		verbose        = flag.Bool("v", false, "print per-run progress")
 
 		faultSpec   = flag.String("faults", "", "chaos fault-injection spec, e.g. seed=1,panic=0.05,slow=0.1 (also $"+faults.EnvVar+")")
 		maxAttempts = flag.Int("max-attempts", 0, "attempts per cell incl. retries of transient failures (0: no retries)")
@@ -76,6 +81,17 @@ func main() {
 	}
 	opt.WarmupMode = mode
 	opt.NoCheckpointReuse = *noReuse
+	sm, err := harness.ParseSimMode(*simMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	opt.SimMode = sm
+	opt.Sample = simpoint.Config{IntervalInstrs: *sampleInterval, MaxK: *sampleMaxK, Seed: *sampleSeed}
+	if sm == harness.SimSampled && *ablate {
+		fmt.Fprintln(os.Stderr, "experiments: -ablate runs detailed simulation; use -sim-mode detailed")
+		os.Exit(1)
+	}
 	if *wls != "" {
 		var list []workload.Workload
 		for _, name := range strings.Split(*wls, ",") {
@@ -132,6 +148,21 @@ func main() {
 		// reuse on/off must export byte-identical documents.
 		fmt.Fprintf(os.Stderr, "experiments: warmup-instrs-simulated=%d checkpoints-captured=%d\n",
 			res.WarmupInstrsSimulated, res.CheckpointsCaptured)
+	}
+	if res.SamplePlans != nil {
+		// Stderr for the same byte-identical-export reason. The headline:
+		// how many detailed instructions sampling actually executed vs. the
+		// full-window grid it stands in for.
+		full := uint64(len(res.Opt.Cells())) * res.Opt.MaxInstrs
+		fmt.Fprintf(os.Stderr, "experiments: sim-mode=sampled detailed-instrs=%d full-grid-instrs=%d (%.1f%%) profiled-instrs=%d\n",
+			res.DetailedInstrsSimulated, full,
+			100*float64(res.DetailedInstrsSimulated)/float64(full), res.ProfiledInstrs)
+		for _, wl := range res.Opt.Workloads {
+			if p := res.SamplePlans[wl.Name]; p != nil {
+				fmt.Fprintf(os.Stderr, "experiments: plan %-14s k=%d/%d intervals sampled=%d/%d instrs err-est=%.3f\n",
+					wl.Name, p.K, p.NumIntervals, p.SampledInstrs(), p.WindowInstrs, p.ErrEstimate)
+			}
+		}
 	}
 	if res.Retries > 0 || len(res.Failures) > 0 {
 		// Stderr, same reason: chaos-mode exports must stay byte-identical

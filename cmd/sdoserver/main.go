@@ -38,12 +38,13 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8344", "listen address")
-		cache    = flag.String("cache", "sdo-cache.json", "result-cache file (empty: in-memory only)")
-		cacheMax = flag.Int("cache-max", 0, "result-cache LRU bound in entries (0: unbounded)")
-		workers  = flag.Int("workers", 0, "concurrent simulations (0: all CPUs)")
-		drain    = flag.Duration("drain", 2*time.Minute, "shutdown grace period for in-flight runs")
-		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		addr          = flag.String("addr", ":8344", "listen address")
+		cache         = flag.String("cache", "sdo-cache.json", "result-cache file (empty: in-memory only)")
+		cacheMax      = flag.Int("cache-max", 0, "result-cache LRU bound in entries (0: unbounded)")
+		cacheMaxBytes = flag.Int64("cache-max-bytes", 0, "result-cache LRU bound in encoded bytes (0: unbounded)")
+		workers       = flag.Int("workers", 0, "concurrent simulations (0: all CPUs)")
+		drain         = flag.Duration("drain", 2*time.Minute, "shutdown grace period for in-flight runs")
+		pprofOn       = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 
 		maxAttempts  = flag.Int("max-attempts", 0, "attempts per cell incl. retries of transient failures (0: default 3)")
 		retryBackoff = flag.Duration("retry-backoff", 0, "base retry delay, doubling per attempt with jitter (0: default 200ms)")
@@ -72,6 +73,7 @@ func main() {
 		Workers:         *workers,
 		CachePath:       *cache,
 		CacheMaxEntries: *cacheMax,
+		CacheMaxBytes:   *cacheMaxBytes,
 		MaxAttempts:     *maxAttempts,
 		RetryBackoff:    *retryBackoff,
 		CellTimeout:     *cellTimeout,

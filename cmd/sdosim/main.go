@@ -12,11 +12,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
@@ -24,6 +26,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/simpoint"
 	"repro/internal/workload"
 )
 
@@ -47,6 +50,14 @@ func main() {
 			"sample interval statistics every N cycles of the measurement window")
 		intervalOut = flag.String("interval-out", "",
 			"write the interval time series as JSON to this file ('-' for stdout; default with -interval: stdout)")
+		simMode = flag.String("sim-mode", "detailed",
+			"simulation mode: detailed (cycle-accurate whole window) or sampled (SimPoint-style: profile, cluster, simulate representatives, reconstruct)")
+		sampleInterval = flag.Uint64("sample-interval", simpoint.DefaultIntervalInstrs,
+			"sampled mode: interval length in committed instructions")
+		sampleMaxK = flag.Int("sample-max-k", simpoint.DefaultMaxK,
+			"sampled mode: maximum number of clusters/representatives")
+		sampleSeed = flag.Uint64("sample-seed", simpoint.DefaultSeed,
+			"sampled mode: seed for BBV projection and clustering")
 	)
 	flag.Parse()
 
@@ -78,6 +89,20 @@ func main() {
 	wm, err := core.ParseWarmupMode(*wmode)
 	if err != nil {
 		fatal(err)
+	}
+
+	mode, err := harness.ParseSimMode(*simMode)
+	if err != nil {
+		fatal(err)
+	}
+	if mode == harness.SimSampled {
+		if *trace != "" || *interval > 0 {
+			fatal(fmt.Errorf("-trace and -interval require whole-window simulation; drop them or use -sim-mode detailed"))
+		}
+		runSampled(wl, v, m, *warmup, *instrs, simpoint.Config{
+			IntervalInstrs: *sampleInterval, MaxK: *sampleMaxK, Seed: *sampleSeed,
+		})
+		return
 	}
 
 	prog, init := wl.Build()
@@ -194,6 +219,39 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runSampled executes one cell in SimPoint-sampled mode and prints the
+// plan summary plus the reconstructed whole-window statistics.
+func runSampled(wl workload.Workload, v core.Variant, m pipeline.AttackModel, warmup, instrs uint64, cfg simpoint.Config) {
+	sp, err := harness.BuildSamplePlan(wl, warmup, instrs, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, _, err := harness.RunSampledCell(context.Background(), runtime.GOMAXPROCS(0),
+		wl, v, m, core.Ablation{}, sp, harness.RunParams{}, harness.RunPolicy{}, nil)
+	if err != nil {
+		fatal(err)
+	}
+	p := sp.Plan
+	fmt.Printf("%s on %s (%s model), sampled: %d intervals × %d instrs → k=%d representatives\n",
+		v, wl.Name, m, p.NumIntervals, p.IntervalInstrs, p.K)
+	fmt.Printf("detailed instructions: %d of %d (%.1f%%), profiling cost %d functional instrs, error estimate %.3f\n\n",
+		p.SampledInstrs(), p.WindowInstrs,
+		100*float64(p.SampledInstrs())/float64(p.WindowInstrs), p.ProfiledInstrs, p.ErrEstimate)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	row := func(k string, val any) { fmt.Fprintf(tw, "%s\t%v\t\n", k, val) }
+	row("est. cycles", res.Cycles)
+	row("est. IPC", fmt.Sprintf("%.3f", res.IPC()))
+	row("est. loads", res.Loads)
+	row("est. stores", res.Stores)
+	row("est. branch mispredicts", res.BranchMispredicts)
+	row("est. squashes (total)", res.TotalSquashes())
+	row("est. Obl-Ld issued", res.OblIssued)
+	row("est. Obl-Ld success / fail", fmt.Sprintf("%d / %d", res.OblSuccess, res.OblFail))
+	row("est. validations / exposures", fmt.Sprintf("%d / %d", res.Validations, res.Exposures))
+	row("est. L1D hits/misses", fmt.Sprintf("%d / %d", res.L1DHits, res.L1DMisses))
+	tw.Flush()
 }
 
 func fatal(err error) {

@@ -35,20 +35,35 @@ type Checkpoint struct {
 // functional warmup, and snapshots the result. init (optional) populates
 // the initial memory image.
 func Capture(p *isa.Program, init func(*isa.Memory), memCfg mem.Config, bpCfg bpred.Config, codeBase uint64, warmupInstrs uint64) *Checkpoint {
+	cks := CaptureSeries(p, init, memCfg, bpCfg, codeBase, []uint64{warmupInstrs})
+	return cks[0]
+}
+
+// CaptureSeries runs one continuous functional warmup over prog,
+// snapshotting a Checkpoint at each of the given committed-instruction
+// boundaries (which must be non-decreasing). Each snapshot is
+// bit-identical to a fresh Capture with that boundary as the budget —
+// warmup is deterministic and snapshots are deep copies — but the whole
+// series costs a single pass instead of one pass per boundary. This is
+// the capture primitive of SimPoint-style multi-checkpoint sampling:
+// functional cache/TLB/bpred warmup is carried across the skipped
+// intervals between representatives.
+func CaptureSeries(p *isa.Program, init func(*isa.Memory), memCfg mem.Config, bpCfg bpred.Config, codeBase uint64, boundaries []uint64) []*Checkpoint {
 	data := isa.NewMemory()
 	if init != nil {
 		init(data)
 	}
-	hier := mem.NewHierarchy(memCfg)
-	bp := bpred.New(bpCfg)
-	st := Warmup(p, data, hier, bp, codeBase, warmupInstrs)
-	return &Checkpoint{
-		WarmupInstrs: warmupInstrs,
-		Arch:         st,
-		Mem:          data.Image(),
-		Hier:         hier.State(),
-		BP:           bp.State(),
+	w := NewWarmer(p, data, mem.NewHierarchy(memCfg), bpred.New(bpCfg), codeBase)
+	out := make([]*Checkpoint, len(boundaries))
+	for i, b := range boundaries {
+		w.Advance(b)
+		ck := w.Snapshot()
+		// Restore matches on the configured budget, not the executed
+		// count (the program may halt inside the last interval).
+		ck.WarmupInstrs = b
+		out[i] = ck
 	}
+	return out
 }
 
 // Encode writes the checkpoint in its serialized (gob) form.

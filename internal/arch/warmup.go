@@ -8,10 +8,8 @@ import (
 
 // Warmup runs the functional emulator for up to warmupInstrs committed
 // instructions (or to halt), touch-warming the memory hierarchy and
-// branch predictor through the warm access paths: instruction lines warm
-// the L1I (once per line, mirroring the pipeline's fetch), loads warm the
-// TLB and the data path, stores warm the write path, conditional branches
-// run a predict/train pair, and clflushes flush.
+// branch predictor through the warm access paths (see Warmer.Advance for
+// the exact access model).
 //
 // Because execution is in-order and non-speculative, the resulting warm
 // state is a function of the program and warmupInstrs only — never of a
@@ -19,27 +17,5 @@ import (
 // the returned State has executed exactly min(warmupInstrs, instructions
 // to halt) instructions.
 func Warmup(p *isa.Program, data *isa.Memory, hier *mem.Hierarchy, bp *bpred.Predictor, codeBase uint64, warmupInstrs uint64) State {
-	var st State
-	var lastLine uint64 // last I-line warmed (0 = none, matching the pipeline)
-	for st.Instrs < warmupInstrs && !st.Halted {
-		pcAddr := codeBase + uint64(st.PC)*8
-		if line := mem.LineAddr(pcAddr); line != lastLine {
-			hier.WarmFetch(pcAddr)
-			lastLine = line
-		}
-		info := st.Step(p, data)
-		switch {
-		case info.Branch && info.Cond:
-			pred, snap := bp.PredictDirection(pcAddr)
-			bp.Update(pcAddr, info.Taken, pred != info.Taken, snap)
-		case info.IsLoad:
-			hier.WarmTranslate(info.Addr)
-			hier.WarmLoad(info.Addr)
-		case info.Mem:
-			hier.WarmStore(info.Addr)
-		case info.Flush:
-			hier.Flush(info.FlushAddr)
-		}
-	}
-	return st
+	return NewWarmer(p, data, hier, bp, codeBase).Advance(warmupInstrs)
 }

@@ -320,6 +320,26 @@ func CaptureCheckpoint(cfg Config, prog *isa.Program, init func(*isa.Memory)) *a
 	return arch.Capture(prog, init, mc, pc.BP, pc.CodeBase, cfg.WarmupInstrs)
 }
 
+// CaptureCheckpoints is the multi-boundary form of CaptureCheckpoint:
+// one continuous functional warmup pass snapshotting at each of the
+// given non-decreasing committed-instruction boundaries. It is the
+// capture primitive for SimPoint-style sampled runs, where every
+// representative interval needs a checkpoint at its start with warm
+// state carried across the skipped intervals in between. As with
+// CaptureCheckpoint, only Mem and Pipe are consulted, so the series is
+// shared across every variant/model cell of a sweep.
+func CaptureCheckpoints(cfg Config, prog *isa.Program, init func(*isa.Memory), boundaries []uint64) []*arch.Checkpoint {
+	mc := mem.DefaultConfig()
+	if cfg.Mem != nil {
+		mc = *cfg.Mem
+	}
+	pc := pipeline.DefaultConfig()
+	if cfg.Pipe != nil {
+		pc = *cfg.Pipe
+	}
+	return arch.CaptureSeries(prog, init, mc, pc.BP, pc.CodeBase, boundaries)
+}
+
 // Restore loads a functional-warmup checkpoint into the machine before
 // Run: the architectural memory image and registers, the warmed memory
 // hierarchy and branch predictor state, and the fetch PC. The machine

@@ -88,9 +88,9 @@ type Config struct {
 
 // Stats counts injected faults by kind.
 type Stats struct {
-	Panics, Slows, Freezes       uint64
+	Panics, Slows, Freezes        uint64
 	CacheReadErrs, CacheWriteErrs uint64
-	DiskFulls                    uint64
+	DiskFulls                     uint64
 }
 
 // Total sums every injected-fault counter.

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/pipeline"
+	"repro/internal/simpoint"
 	"repro/internal/workload"
 )
 
@@ -42,6 +43,15 @@ type Options struct {
 	// sum of warmup and measurement must stay below every kernel's natural
 	// dynamic length.
 	MaxInstrs uint64
+	// SimMode selects detailed (default) or SimPoint-sampled execution of
+	// each cell's measurement window. Sampled mode requires MaxInstrs > 0
+	// (the window must be finite to profile) and ignores IntervalCycles
+	// and the warmup/checkpoint knobs' reuse switch: sampling is built on
+	// per-representative functional checkpoints.
+	SimMode SimMode
+	// Sample holds the sampled-mode parameters; the zero value selects the
+	// simpoint package defaults. Ignored in detailed mode.
+	Sample simpoint.Config
 	// Workloads is the benchmark list (default: workload.All()).
 	Workloads []workload.Workload
 	// Variants are the Table II rows to run (default: all).
@@ -98,6 +108,12 @@ func (o Options) Normalized() Options {
 	if o.Models == nil {
 		o.Models = []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic}
 	}
+	if o.SimMode == "" {
+		o.SimMode = SimDetailed
+	}
+	if o.SimMode == SimSampled {
+		o.Sample = o.Sample.WithDefaults()
+	}
 	return o
 }
 
@@ -146,6 +162,21 @@ type Results struct {
 	// CheckpointsCaptured counts per-workload warmup checkpoints captured
 	// (0 unless functional warmup with checkpoint reuse ran).
 	CheckpointsCaptured int
+
+	// Sampled-mode bookkeeping (nil/zero in detailed mode). SamplePlans
+	// maps workload name to its clustering plan, for run summaries
+	// (chosen k, sampled fraction, error estimate). ProfiledInstrs counts
+	// functional instructions the BBV profiling pass executed. Like the
+	// warmup counters these never enter the JSON Export: a sampled export
+	// carries only the reconstructed runs.
+	SamplePlans    map[string]*simpoint.Plan
+	ProfiledInstrs uint64
+	// DetailedInstrsSimulated counts instructions committed by the
+	// detailed pipeline across the sweep — in sampled mode only the
+	// representative intervals, which is what the "measurably fewer
+	// detailed instructions" summary line compares against the full
+	// window.
+	DetailedInstrsSimulated uint64
 
 	// Retries counts cell attempts beyond the first across the sweep
 	// (non-zero only under a retrying Policy). Like the warmup counters,
@@ -254,6 +285,10 @@ func RunContext(ctx context.Context, opt Options) (*Results, error) {
 	}
 	cells := opt.Cells()
 
+	if opt.SimMode == SimSampled {
+		return runSampledSweep(ctx, opt, res, byName, cells)
+	}
+
 	// With functional warmup, capture one checkpoint per workload up front
 	// and restore it into every (variant, model) cell: the grid then warms
 	// each workload once instead of len(variants)×len(models) times.
@@ -293,6 +328,7 @@ func RunContext(ctx context.Context, opt Options) (*Results, error) {
 			return fmt.Errorf("harness: %s/%v/%v: %w", k.Workload, k.Variant, k.Model, err)
 		}
 		res.Runs[k] = r
+		res.DetailedInstrsSimulated += r.Committed
 		if p.Checkpoint == nil && opt.WarmupInstrs > 0 {
 			res.WarmupInstrsSimulated += opt.WarmupInstrs
 		}

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/simpoint"
+	"repro/internal/workload"
+)
+
+func byName(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	wl, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+func TestParseSimMode(t *testing.T) {
+	for s, want := range map[string]SimMode{"": SimDetailed, "detailed": SimDetailed, "sampled": SimSampled} {
+		got, err := ParseSimMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSimMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseSimMode("fast"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestSamplePlanDeterminism(t *testing.T) {
+	wl := byName(t, "omnetpp_r")
+	cfg := simpoint.Config{IntervalInstrs: 2000}
+	a, err := BuildSamplePlan(wl, 5000, 30_000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSamplePlan(wl, 5000, 30_000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Plan, b.Plan) {
+		t.Fatal("same (workload, window, config) produced different plans")
+	}
+	if len(a.Checkpoints) != len(a.Plan.Reps) {
+		t.Fatalf("%d checkpoints for %d representatives", len(a.Checkpoints), len(a.Plan.Reps))
+	}
+	for i, ck := range a.Checkpoints {
+		if ck.WarmupInstrs != a.Plan.Reps[i].Start {
+			t.Errorf("checkpoint %d at boundary %d, want %d", i, ck.WarmupInstrs, a.Plan.Reps[i].Start)
+		}
+	}
+}
+
+// TestSampledSingleIntervalExact pins the reconstruction identity: with
+// one interval covering the whole window (weight 1), the sampled result
+// must equal exactly what ReconstructResult produces from the equivalent
+// functional-warmup detailed run — warm-base subtraction on the memory
+// counters followed by normalization to the window length (a detailed run
+// may overshoot its budget by a few instructions on a wide commit).
+func TestSampledSingleIntervalExact(t *testing.T) {
+	const warmup, window = 2000, 4000
+	wl := byName(t, "mcf_r")
+	sp, err := BuildSamplePlan(wl, warmup, window, simpoint.Config{IntervalInstrs: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Plan.Reps) != 1 {
+		t.Fatalf("%d representatives, want 1", len(sp.Plan.Reps))
+	}
+	got, _, err := RunSampledCell(context.Background(), 1, wl, core.Hybrid, pipeline.Futuristic,
+		core.Ablation{}, sp, RunParams{}, RunPolicy{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := RunCell(context.Background(), wl, core.Hybrid, pipeline.Futuristic, core.Ablation{},
+		RunParams{WarmupInstrs: warmup, MaxInstrs: window, WarmupMode: core.WarmupFunctional},
+		RunPolicy{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ReconstructResult(sp.Plan, []core.Result{subtractWarmBase(direct, sp.Checkpoints[0])})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("single-interval sampled run is not exact:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Committed != window {
+		t.Errorf("reconstructed Committed %d, want exactly the window %d", got.Committed, window)
+	}
+}
+
+// TestSampledAccuracy is the subsystem's headline contract (documented in
+// DESIGN.md): sampled-mode IPC stays within 6% of the full detailed run
+// while executing measurably fewer detailed instructions. Three
+// contrasting workloads under both attack models.
+func TestSampledAccuracy(t *testing.T) {
+	const warmup, window, tolerance = 20_000, 40_000, 0.06
+
+	opt := DefaultOptions()
+	opt.WarmupInstrs = warmup
+	opt.MaxInstrs = window
+	opt.Variants = []core.Variant{core.Hybrid}
+	opt.Workloads = []workload.Workload{byName(t, "mcf_r"), byName(t, "gcc_r"), byName(t, "xz_r")}
+
+	detailed, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sopt := opt
+	sopt.SimMode = SimSampled
+	sampled, err := Run(sopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sampled.SamplePlans == nil || sampled.DetailedInstrsSimulated == 0 {
+		t.Fatal("sampled run missing plan/instruction accounting")
+	}
+	full := uint64(len(sopt.Cells())) * window
+	if sampled.DetailedInstrsSimulated >= full {
+		t.Errorf("sampled mode simulated %d detailed instrs, full grid is %d — no savings",
+			sampled.DetailedInstrsSimulated, full)
+	}
+
+	for k, d := range detailed.Runs {
+		s, ok := sampled.Runs[k]
+		if !ok {
+			t.Errorf("%v: missing sampled run", k)
+			continue
+		}
+		dIPC := float64(d.Committed) / float64(d.Cycles)
+		sIPC := float64(s.Committed) / float64(s.Cycles)
+		if rel := math.Abs(sIPC-dIPC) / dIPC; rel > tolerance {
+			t.Errorf("%v: sampled IPC %.4f vs detailed %.4f (%.1f%% error, tolerance %.0f%%)",
+				k, sIPC, dIPC, 100*rel, 100*tolerance)
+		}
+		// Committed must reconstruct to ≈ the window (weights sum to 1).
+		if math.Abs(float64(s.Committed)-float64(window)) > 1 {
+			t.Errorf("%v: reconstructed Committed %d, want ≈%d", k, s.Committed, window)
+		}
+	}
+}
+
+// TestSampledSweepDeterminism: two identical sampled sweeps are
+// bit-identical — the property that makes sampled results cacheable.
+func TestSampledSweepDeterminism(t *testing.T) {
+	opt := DefaultOptions()
+	opt.WarmupInstrs = 2000
+	opt.MaxInstrs = 12_000
+	opt.SimMode = SimSampled
+	opt.Sample = simpoint.Config{IntervalInstrs: 3000}
+	opt.Variants = []core.Variant{core.Unsafe, core.Hybrid}
+	opt.Models = []pipeline.AttackModel{pipeline.Spectre}
+	opt.Workloads = []workload.Workload{byName(t, "deepsjeng_r"), byName(t, "x264_r")}
+
+	a, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Runs, b.Runs) {
+		t.Fatal("repeated sampled sweep differs")
+	}
+}

@@ -47,8 +47,12 @@ const (
 	// injected chaos faults, cell panics/timeouts/stalls, retries, cache
 	// corruption quarantine, and persistence degradation.
 	ClassFault
+	// ClassSample covers SimPoint-style sampled simulation above the
+	// pipeline: BBV profiling passes, clustering outcomes (sampling-plan
+	// builds) and sampled-cell reconstruction.
+	ClassSample
 
-	numClasses = 11
+	numClasses = 12
 )
 
 // ClassAll enables every event class.
@@ -68,6 +72,7 @@ var classNames = map[Class]string{
 	ClassSDO:    "sdo",
 	ClassFP:     "fp",
 	ClassFault:  "fault",
+	ClassSample: "sample",
 }
 
 // ClassNames returns the canonical class names in stable order.

@@ -1,0 +1,225 @@
+package simpoint
+
+import "math"
+
+// clustering is the outcome of one k-means run: each vector's cluster
+// assignment plus the converged centroids.
+type clustering struct {
+	k       int
+	assign  []int
+	centers [][]float64
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// kmeans runs seeded k-means++ initialisation followed by Lloyd
+// iterations to convergence (or a fixed iteration cap). Weights are the
+// intervals' instruction counts, so centroids are per-instruction
+// averages rather than per-interval ones — a short tail interval pulls
+// its cluster proportionally to its size.
+//
+// Everything is deterministic in (vecs, weights, k, seed): the k-means++
+// draws come from splitmix64, ties in assignment go to the lowest
+// cluster index, and all float accumulation runs in slice order.
+func kmeans(vecs [][]float64, weights []uint64, k int, seed uint64) clustering {
+	n := len(vecs)
+	if k > n {
+		k = n
+	}
+	dim := len(vecs[0])
+
+	// k-means++ seeding: first center from a weighted draw, each further
+	// center drawn with probability proportional to weight × squared
+	// distance to the nearest existing center.
+	centers := make([][]float64, 0, k)
+	d2 := make([]float64, n)
+	var totalW float64
+	for _, w := range weights {
+		totalW += float64(w)
+	}
+	rng := splitmix64(seed ^ 0xda7a0b1a5eed)
+	draw := func(cum func(i int) float64, total float64) int {
+		rng = splitmix64(rng)
+		target := unitFloat(rng) * total
+		var acc float64
+		for i := 0; i < n; i++ {
+			acc += cum(i)
+			if acc > target {
+				return i
+			}
+		}
+		return n - 1
+	}
+	first := draw(func(i int) float64 { return float64(weights[i]) }, totalW)
+	centers = append(centers, append([]float64(nil), vecs[first]...))
+	for len(centers) < k {
+		var total float64
+		for i := range vecs {
+			d2[i] = math.Inf(1)
+			for _, c := range centers {
+				if d := sqDist(vecs[i], c); d < d2[i] {
+					d2[i] = d
+				}
+			}
+			total += float64(weights[i]) * d2[i]
+		}
+		if total == 0 {
+			// Fewer distinct vectors than k: stop early, duplicates would
+			// only create empty clusters.
+			break
+		}
+		next := draw(func(i int) float64 { return float64(weights[i]) * d2[i] }, total)
+		centers = append(centers, append([]float64(nil), vecs[next]...))
+	}
+	k = len(centers)
+
+	assign := make([]int, n)
+	const maxIters = 50
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, math.Inf(1)
+			for c := range centers {
+				if d := sqDist(v, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		sums := make([][]float64, k)
+		wsum := make([]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			w := float64(weights[i])
+			wsum[c] += w
+			for d := range v {
+				sums[c][d] += w * v[d]
+			}
+		}
+		for c := range centers {
+			if wsum[c] == 0 {
+				continue // empty cluster keeps its old center
+			}
+			for d := range centers[c] {
+				centers[c][d] = sums[c][d] / wsum[c]
+			}
+		}
+	}
+	return clustering{k: k, assign: assign, centers: centers}
+}
+
+// bic scores a clustering with the Bayesian Information Criterion under
+// a spherical-Gaussian model (the SimPoint paper's criterion): the
+// log-likelihood of the data minus a complexity penalty of ½·p·log(n)
+// for p = k·dim + 1 free parameters. Higher is better. Weights are
+// normalized to sum to n so a short tail interval counts for less
+// without the instruction-count scale swamping the penalty term, and
+// the variance is floored at varFloor so a perfect clustering (every
+// interval its own centroid) cannot drive the likelihood to infinity
+// and unconditionally win the k search.
+func bic(vecs [][]float64, weights []uint64, cl clustering, varFloor float64) float64 {
+	n := len(vecs)
+	dim := len(vecs[0])
+	var totalW, ss float64
+	for i, v := range vecs {
+		w := float64(weights[i])
+		totalW += w
+		ss += w * sqDist(v, cl.centers[cl.assign[i]])
+	}
+	variance := ss / (totalW * float64(dim))
+	if variance < varFloor {
+		variance = varFloor
+	}
+	// Per-point log-likelihood of a spherical Gaussian at distance d from
+	// its centroid, plus the log mixing weight of its cluster.
+	clusterW := make([]float64, cl.k)
+	for i := range vecs {
+		clusterW[cl.assign[i]] += float64(weights[i])
+	}
+	norm := float64(n) / totalW
+	var ll float64
+	for i, v := range vecs {
+		w := float64(weights[i]) * norm
+		d2 := sqDist(v, cl.centers[cl.assign[i]])
+		ll += w * (math.Log(clusterW[cl.assign[i]]/totalW) -
+			0.5*float64(dim)*math.Log(2*math.Pi*variance) -
+			d2/(2*variance))
+	}
+	params := float64(cl.k*dim + 1)
+	return ll - 0.5*params*math.Log(float64(n))
+}
+
+// varianceFloor derives bic's variance guard from the BBVs' own scale: a
+// small fraction of their weighted mean squared norm. Distances below
+// this floor are interval-boundary jitter within one program phase
+// (block counts shifted by where the 5000-instruction cut landed), not
+// phase structure — clusterings that differ only below the floor score
+// identical likelihoods, so BIC's penalty makes the coarser one win
+// instead of rewarding ever-finer splits of noise.
+func varianceFloor(vecs [][]float64, weights []uint64) float64 {
+	dim := len(vecs[0])
+	zero := make([]float64, dim)
+	var totalW, ss float64
+	for i, v := range vecs {
+		w := float64(weights[i])
+		totalW += w
+		ss += w * sqDist(v, zero)
+	}
+	msn := ss / (totalW * float64(dim))
+	const floorFrac, floorAbs = 1e-4, 1e-12
+	if f := msn * floorFrac; f > floorAbs {
+		return f
+	}
+	return floorAbs
+}
+
+// chooseK runs kmeans for k = 1..maxK, scores each with BIC, and picks
+// the smallest k whose score is within 10% of the observed BIC range
+// from the maximum — the SimPoint heuristic that prefers fewer
+// representatives when the marginal fit gain is small. (The threshold is
+// range-based, not max-relative, because BIC values are routinely
+// negative.)
+func chooseK(vecs [][]float64, weights []uint64, maxK int, seed uint64) clustering {
+	if maxK > len(vecs) {
+		maxK = len(vecs)
+	}
+	floor := varianceFloor(vecs, weights)
+	runs := make([]clustering, 0, maxK)
+	scores := make([]float64, 0, maxK)
+	minB, maxB := math.Inf(1), math.Inf(-1)
+	for k := 1; k <= maxK; k++ {
+		cl := kmeans(vecs, weights, k, seed+uint64(k))
+		b := bic(vecs, weights, cl, floor)
+		runs = append(runs, cl)
+		scores = append(scores, b)
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	threshold := maxB - 0.1*(maxB-minB)
+	for i, b := range scores {
+		if b >= threshold {
+			return runs[i]
+		}
+	}
+	return runs[len(runs)-1]
+}

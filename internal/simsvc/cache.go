@@ -38,12 +38,17 @@ const CorruptSuffix = ".corrupt"
 // the service's /metrics endpoint.
 type Cache struct {
 	mu        sync.Mutex
-	max       int // 0: unbounded
+	max       int   // entry bound (0: unbounded)
+	maxBytes  int64 // byte bound over encoded entry sizes (0: unbounded)
+	bytes     int64 // current total encoded size
 	entries   map[string]*list.Element
 	order     *list.List // front = most recently used
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	// evictedBytes sums the encoded sizes of evicted entries (both
+	// bounds), for capacity planning via /metrics.
+	evictedBytes uint64
 
 	// corrupt counts entries dropped by checksum verification on load;
 	// quarantined counts whole files renamed aside as unparseable.
@@ -54,10 +59,23 @@ type Cache struct {
 	inj *faults.Injector
 }
 
-// lruEntry is one cached result with its key (for map removal on evict).
+// lruEntry is one cached result with its key (for map removal on evict)
+// and its encoded size (for the byte bound).
 type lruEntry struct {
-	key string
-	res core.Result
+	key  string
+	res  core.Result
+	size int64
+}
+
+// entrySize is an entry's accounted size: key plus the canonical compact
+// JSON encoding of the result — the same bytes the persisted file stores,
+// so the byte bound tracks what the cache actually costs on disk.
+func entrySize(key string, r core.Result) int64 {
+	raw, err := json.Marshal(r)
+	if err != nil {
+		return int64(len(key))
+	}
+	return int64(len(key) + len(raw))
 }
 
 // NewCache returns an empty, unbounded cache.
@@ -93,15 +111,58 @@ func (c *Cache) MaxEntries() int {
 	return c.max
 }
 
-// evictOver drops LRU entries until the bound is met. Caller holds mu.
+// SetMaxBytes bounds the cache's total encoded size to n bytes, evicting
+// least-recently-used entries immediately if it is already over; n <= 0
+// removes the bound. The bound is over entry payloads (keys + canonical
+// result encodings), i.e. what the persisted file stores, excluding the
+// file's framing.
+func (c *Cache) SetMaxBytes(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.maxBytes = n
+	c.evictOver()
+}
+
+// MaxBytes returns the current byte bound (0: unbounded).
+func (c *Cache) MaxBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxBytes
+}
+
+// Bytes returns the total accounted size of the cached entries.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// EvictedBytes returns the cumulative accounted size of evicted entries.
+func (c *Cache) EvictedBytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictedBytes
+}
+
+// evictOver drops LRU entries until both bounds are met. Caller holds mu.
 func (c *Cache) evictOver() {
-	for c.max > 0 && len(c.entries) > c.max {
+	over := func() bool {
+		return (c.max > 0 && len(c.entries) > c.max) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)
+	}
+	for over() {
 		back := c.order.Back()
 		if back == nil {
 			return
 		}
+		e := back.Value.(*lruEntry)
 		c.order.Remove(back)
-		delete(c.entries, back.Value.(*lruEntry).key)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		c.evictedBytes += uint64(e.size)
 		c.evictions++
 	}
 }
@@ -124,14 +185,19 @@ func (c *Cache) Get(key string) (core.Result, bool) {
 // Put stores a completed result as the most recently used entry, evicting
 // the least recently used one if the bound is exceeded.
 func (c *Cache) Put(key string, r core.Result) {
+	size := entrySize(key, r)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*lruEntry).res = r
+		e := el.Value.(*lruEntry)
+		c.bytes += size - e.size
+		e.res, e.size = r, size
 		c.order.MoveToFront(el)
+		c.evictOver()
 		return
 	}
-	c.entries[key] = c.order.PushFront(&lruEntry{key: key, res: r})
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, res: r, size: size})
+	c.bytes += size
 	c.evictOver()
 }
 
@@ -302,7 +368,9 @@ func loadCache(path string, inj *faults.Injector) (*Cache, error) {
 			c.corrupt++
 			continue
 		}
-		c.entries[e.Key] = c.order.PushFront(&lruEntry{key: e.Key, res: r})
+		size := int64(len(e.Key) + compact.Len())
+		c.entries[e.Key] = c.order.PushFront(&lruEntry{key: e.Key, res: r, size: size})
+		c.bytes += size
 	}
 	return c, nil
 }

@@ -1,6 +1,7 @@
 package simsvc
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -104,5 +105,58 @@ func TestCacheLoadMissingAndStale(t *testing.T) {
 	c, err = LoadCache(stale)
 	if err != nil || c.Len() != 0 {
 		t.Fatalf("stale version must be discarded: got len=%d err=%v", c.Len(), err)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := NewCache()
+	one := entrySize("key-00", core.Result{L1DHits: 1})
+	// Room for three entries, not four.
+	c.SetMaxBytes(3*one + one/2)
+	for i := 0; i < 6; i++ {
+		c.Put(fmt.Sprintf("key-%02d", i), core.Result{L1DHits: uint64(i + 1)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len %d, want 3", c.Len())
+	}
+	if c.Bytes() > c.MaxBytes() {
+		t.Fatalf("bytes %d over bound %d", c.Bytes(), c.MaxBytes())
+	}
+	// Oldest-first: the three most recent keys survive.
+	for i := 0; i < 3; i++ {
+		if _, ok := c.Get(fmt.Sprintf("key-%02d", i)); ok {
+			t.Errorf("old key-%02d survived the byte bound", i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if _, ok := c.Get(fmt.Sprintf("key-%02d", i)); !ok {
+			t.Errorf("recent key-%02d evicted", i)
+		}
+	}
+	if got := c.EvictedBytes(); got != uint64(3*one) {
+		t.Errorf("evicted %d bytes, want %d", got, 3*one)
+	}
+	if c.Evictions() != 3 {
+		t.Errorf("evictions %d, want 3", c.Evictions())
+	}
+
+	// Overwriting an entry re-accounts its size instead of double counting.
+	before := c.Bytes()
+	c.Put("key-05", core.Result{L1DHits: 6})
+	if c.Bytes() != before {
+		t.Errorf("overwrite changed accounted bytes: %d -> %d", before, c.Bytes())
+	}
+
+	// The byte accounting survives a save/load round trip.
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Bytes() != c.Bytes() {
+		t.Errorf("loaded bytes %d, want %d", loaded.Bytes(), c.Bytes())
 	}
 }

@@ -1,0 +1,97 @@
+package simsvc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/arch"
+	"repro/internal/faults"
+)
+
+// ckptDirSuffix names the checkpoint directory next to the result cache:
+// CachePath + ckptDirSuffix.
+const ckptDirSuffix = ".ckpts"
+
+// ckptStore persists functional-warmup checkpoints (gob, one file per
+// checkpoint key) alongside the result cache, so a restarted server
+// restores warm state from disk instead of re-simulating warmup. Files
+// are content-addressed by the hash of the checkpoint key — the same key
+// the in-memory tier uses, so a schema bump or a kernel edit changes the
+// file name and stale checkpoints are simply never read again.
+//
+// The store is strictly best-effort: any failure to save or load is
+// reported to the caller's metrics/events and the service falls back to
+// capturing in-process, exactly as if the file did not exist.
+type ckptStore struct {
+	dir string // "" disables the store
+	inj *faults.Injector
+}
+
+func newCkptStore(cachePath string, inj *faults.Injector) *ckptStore {
+	st := &ckptStore{inj: inj}
+	if cachePath != "" {
+		st.dir = cachePath + ckptDirSuffix
+	}
+	return st
+}
+
+func (st *ckptStore) enabled() bool { return st.dir != "" }
+
+// path maps a checkpoint key to its file. Keys carry workload names and
+// schema strings; hashing keeps the file name short, safe and stable.
+func (st *ckptStore) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(st.dir, hex.EncodeToString(sum[:16])+".ckpt")
+}
+
+// load reads and validates the checkpoint for key. Any failure — missing
+// file, decode error, or a snapshot whose warmup budget does not match —
+// yields nil and the caller re-captures.
+func (st *ckptStore) load(key string, warmup uint64) *arch.Checkpoint {
+	if !st.enabled() || st.inj.LoadErr() != nil {
+		return nil
+	}
+	f, err := os.Open(st.path(key))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	ck, err := arch.Decode(f)
+	if err != nil || ck.WarmupInstrs != warmup {
+		return nil
+	}
+	return ck
+}
+
+// save writes the checkpoint atomically (temp file + rename); a crash
+// mid-save leaves either no file or the previous one.
+func (st *ckptStore) save(key string, ck *arch.Checkpoint) error {
+	if !st.enabled() {
+		return nil
+	}
+	if err := st.inj.SaveErr(); err != nil {
+		return fmt.Errorf("simsvc: save checkpoint: %w", err)
+	}
+	if err := os.MkdirAll(st.dir, 0o755); err != nil {
+		return fmt.Errorf("simsvc: save checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(st.dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("simsvc: save checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := ck.Encode(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("simsvc: save checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("simsvc: save checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), st.path(key)); err != nil {
+		return fmt.Errorf("simsvc: save checkpoint: %w", err)
+	}
+	return nil
+}

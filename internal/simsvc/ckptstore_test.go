@@ -1,0 +1,113 @@
+package simsvc
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func TestCheckpointStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.json")
+
+	// First server: functional-mode sweep captures one checkpoint per
+	// workload and persists each to the store.
+	s1 := newService(t, Config{Workers: 2, CachePath: path})
+	submitAndWait(t, s1, functionalReq())
+	m1 := s1.Snapshot()
+	if m1.CheckpointsCaptured != 2 || m1.CheckpointsPersisted != 2 || m1.CheckpointDiskHits != 0 {
+		t.Fatalf("first server checkpoint counters: %+v", m1)
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(path + ckptDirSuffix)
+	if err != nil || len(files) != 2 {
+		t.Fatalf("checkpoint dir: %d files, err %v; want 2", len(files), err)
+	}
+
+	// Restarted server, different measurement budget: the result cache
+	// cannot answer (different cache keys), but warmup state restores
+	// from the store — zero warmup instructions are re-simulated.
+	s2 := newService(t, Config{Workers: 2, CachePath: path})
+	defer s2.Shutdown(context.Background())
+	req := functionalReq()
+	req.MaxInstrs = 3000
+	j := submitAndWait(t, s2, req)
+	m2 := s2.Snapshot()
+	if m2.CheckpointDiskHits != 2 || m2.CheckpointsCaptured != 0 {
+		t.Errorf("restarted server did not restore from disk: %+v", m2)
+	}
+	if m2.WarmupInstrsSimulated != 0 {
+		t.Errorf("restarted server re-simulated %d warmup instructions", m2.WarmupInstrsSimulated)
+	}
+
+	// Disk-restored checkpoints must be invisible in the results: equal
+	// to a direct harness run with the same options.
+	got, err := j.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := s2.resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := harness.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Runs, want.Runs) {
+		t.Fatal("results via disk-restored checkpoints differ from a fresh run")
+	}
+}
+
+func TestCheckpointStoreRejectsBudgetMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.json")
+
+	s1 := newService(t, Config{Workers: 2, CachePath: path})
+	submitAndWait(t, s1, functionalReq())
+	s1.Shutdown(context.Background())
+
+	// Same workloads, different warmup budget: the checkpoint key embeds
+	// the budget, so the persisted files are simply never found and fresh
+	// captures happen.
+	s2 := newService(t, Config{Workers: 2, CachePath: path})
+	defer s2.Shutdown(context.Background())
+	req := functionalReq()
+	w := uint64(1500)
+	req.WarmupInstrs = &w
+	submitAndWait(t, s2, req)
+	m := s2.Snapshot()
+	if m.CheckpointDiskHits != 0 || m.CheckpointsCaptured != 2 {
+		t.Errorf("budget change reused stale checkpoints: %+v", m)
+	}
+}
+
+func TestCheckpointStoreDisabledWithoutCachePath(t *testing.T) {
+	s := newService(t, Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	submitAndWait(t, s, functionalReq())
+	if m := s.Snapshot(); m.CheckpointsPersisted != 0 {
+		t.Errorf("memory-only service persisted checkpoints: %+v", m)
+	}
+}
+
+func TestCkptStoreCorruptFileIgnored(t *testing.T) {
+	dir := t.TempDir()
+	st := newCkptStore(filepath.Join(dir, "cache.json"), nil)
+	key := "some|ckpt|key"
+	if err := os.MkdirAll(st.dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.path(key), []byte("not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ck := st.load(key, 1000); ck != nil {
+		t.Fatal("corrupt checkpoint file decoded")
+	}
+}

@@ -37,7 +37,12 @@ import (
 // exactly-bounded, non-speculative — warm state than detailed warmup, so
 // the two modes are distinct cache entries). The same schema also keys
 // the in-memory checkpoint tier (see Service.checkpoint).
-const keySchema = "sdo-cache-v3"
+// v4: RunSpec gained SimMode and the sampling parameters (interval
+// length, max k, seed). A sampled result is a reconstruction, not a
+// measurement, so it must never answer a detailed query (or vice versa),
+// and two sampled runs with different sampling parameters are distinct
+// entries. The same schema keys the sample-plan tier (Service.samplePlan).
+const keySchema = "sdo-cache-v4"
 
 // RunSpec identifies one simulation cell, in the exact terms the cache
 // key is derived from.
@@ -50,6 +55,23 @@ type RunSpec struct {
 	IntervalCycles uint64
 	WarmupMode     core.WarmupMode
 	Ablate         core.Ablation
+
+	// SimMode is detailed or sampled ("" means detailed). The sampling
+	// parameters below are zero unless SimMode is sampled.
+	SimMode        harness.SimMode
+	SampleInterval uint64
+	SampleMaxK     int
+	SampleSeed     uint64
+}
+
+// simMode normalizes the zero value ("") to detailed, so specs built
+// before SimMode existed (and ablation cells, which are always detailed)
+// key identically to explicit detailed cells.
+func (s RunSpec) simMode() harness.SimMode {
+	if s.SimMode == "" {
+		return harness.SimDetailed
+	}
+	return s.SimMode
 }
 
 // Key converts the spec to the harness's run key.
@@ -103,11 +125,12 @@ func (s RunSpec) CacheKey() (string, error) {
 		return "", err
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|wl=%s|prog=%s|variant=%d|model=%d|warmup=%d|max=%d|interval=%d|wmode=%d|ablate=%t,%t,%t,%t",
+	fmt.Fprintf(h, "%s|wl=%s|prog=%s|variant=%d|model=%d|warmup=%d|max=%d|interval=%d|wmode=%d|ablate=%t,%t,%t,%t|sim=%s|sinterval=%d|smaxk=%d|sseed=%d",
 		keySchema, s.Workload, fp, int(s.Variant), int(s.Model),
 		s.WarmupInstrs, s.MaxInstrs, s.IntervalCycles, int(s.WarmupMode),
 		s.Ablate.DisableEarlyForward, s.Ablate.AlwaysValidate,
-		s.Ablate.NoImplicitChannelProtection, s.Ablate.OblDRAMVariant)
+		s.Ablate.NoImplicitChannelProtection, s.Ablate.OblDRAMVariant,
+		s.simMode(), s.SampleInterval, s.SampleMaxK, s.SampleSeed)
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
@@ -122,4 +145,21 @@ func (s RunSpec) CheckpointKey() (string, error) {
 		return "", err
 	}
 	return fmt.Sprintf("%s|ckpt|wl=%s|prog=%s|warmup=%d", keySchema, s.Workload, fp, s.WarmupInstrs), nil
+}
+
+// PlanKey identifies the sampling plan a sampled-mode cell executes:
+// workload identity, measurement window placement and the sampling
+// parameters — deliberately not variant, model or ablation, because BBV
+// profiling and clustering run on the functional emulator and are
+// microarchitecture-independent. Every sampled cell of a sweep grid that
+// shares (workload, warmup, window, sampling config) shares one
+// plan-tier entry, checkpoints included.
+func (s RunSpec) PlanKey() (string, error) {
+	fp, err := programFingerprint(s.Workload)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s|plan|wl=%s|prog=%s|warmup=%d|window=%d|sinterval=%d|smaxk=%d|sseed=%d",
+		keySchema, s.Workload, fp, s.WarmupInstrs, s.MaxInstrs,
+		s.SampleInterval, s.SampleMaxK, s.SampleSeed), nil
 }

@@ -1,0 +1,177 @@
+package simsvc
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// sampledReq is smallReq in sampled mode: a 6000-instruction window cut
+// into 2000-instruction intervals, so clustering has real work to do.
+func sampledReq() SweepRequest {
+	req := smallReq()
+	req.MaxInstrs = 6000
+	req.SimMode = "sampled"
+	req.SampleIntervalInstrs = 2000
+	return req
+}
+
+func TestSampledSweep(t *testing.T) {
+	s := newService(t, Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+
+	j := submitAndWait(t, s, sampledReq())
+	res, err := j.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("got %d runs, want 4", len(res.Runs))
+	}
+	for k, r := range res.Runs {
+		if r.Committed == 0 || r.Cycles == 0 {
+			t.Errorf("%v: empty reconstructed result: %+v", k, r)
+		}
+	}
+
+	// 4 cells over 2 workloads: one plan build per workload, every other
+	// sampled cell joins the plan flight.
+	m := s.Snapshot()
+	if m.SamplePlansBuilt != 2 {
+		t.Errorf("built %d sample plans, want 2", m.SamplePlansBuilt)
+	}
+	if m.SamplePlanHits != 2 {
+		t.Errorf("%d plan hits, want 2", m.SamplePlanHits)
+	}
+	if m.SampledCells != 4 {
+		t.Errorf("%d sampled cells, want 4", m.SampledCells)
+	}
+	if m.SampledDetailedInstrs == 0 || m.ProfiledInstrs == 0 {
+		t.Errorf("sampled instruction accounting missing: %+v", m)
+	}
+
+	// A repeated sampled sweep answers entirely from the result cache:
+	// nothing runs, no plan is rebuilt.
+	submitAndWait(t, s, sampledReq())
+	m2 := s.Snapshot()
+	if m2.RunsExecuted != m.RunsExecuted || m2.SamplePlansBuilt != 2 || m2.SamplePlanHits != 2 {
+		t.Errorf("cached sampled re-sweep ran work: %+v", m2)
+	}
+}
+
+func TestSampledMatchesHarness(t *testing.T) {
+	// The service's plan tier must be invisible in the results: a sampled
+	// job's runs equal a direct sampled harness sweep with the same
+	// options (sampling is deterministic end to end).
+	s := newService(t, Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+
+	req := sampledReq()
+	j := submitAndWait(t, s, req)
+	got, err := j.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := s.resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := harness.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Runs, want.Runs) {
+		t.Fatal("service sampled-mode results differ from direct harness run")
+	}
+}
+
+func TestCacheKeySeparatesSimModes(t *testing.T) {
+	detailed := RunSpec{Workload: "mcf_r", WarmupInstrs: 1000, MaxInstrs: 2000}
+	sampled := detailed
+	sampled.SimMode = harness.SimSampled
+	sampled.SampleInterval, sampled.SampleMaxK, sampled.SampleSeed = 5000, 8, 1
+	kd, err := detailed.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := sampled.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kd == ks {
+		t.Fatal("detailed and sampled cells share a cache key")
+	}
+	// The zero SimMode means detailed: pre-v4 shaped specs and explicit
+	// detailed specs must key identically.
+	explicit := detailed
+	explicit.SimMode = harness.SimDetailed
+	ke, err := explicit.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ke != kd {
+		t.Fatal(`zero SimMode and explicit "detailed" key differently`)
+	}
+	// Sampling parameters are part of the key.
+	reseeded := sampled
+	reseeded.SampleSeed = 2
+	kr, err := reseeded.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr == ks {
+		t.Fatal("sampled cells with different seeds share a cache key")
+	}
+}
+
+func TestPlanKeyIgnoresVariantModelAblation(t *testing.T) {
+	a := RunSpec{Workload: "mcf_r", WarmupInstrs: 1000, MaxInstrs: 6000,
+		SimMode: harness.SimSampled, SampleInterval: 2000, SampleMaxK: 8, SampleSeed: 1}
+	b := a
+	b.Variant = 6 // Hybrid
+	b.Model = 1
+	b.Ablate.AlwaysValidate = true
+	ka, err := a.PlanKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.PlanKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatal("plan key depends on variant/model/ablation")
+	}
+	c := a
+	c.SampleInterval = 1000
+	kc, err := c.PlanKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka == kc {
+		t.Fatal("plan key ignores the sampling interval")
+	}
+}
+
+func TestSampledRequestValidation(t *testing.T) {
+	s := newService(t, Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+
+	bad := sampledReq()
+	bad.Ablations = true
+	if _, err := s.Submit(bad); err == nil {
+		t.Error("sampled ablation job accepted")
+	}
+	bad = sampledReq()
+	bad.IntervalCycles = 100
+	if _, err := s.Submit(bad); err == nil {
+		t.Error("sampled job with interval_cycles accepted")
+	}
+	bad = sampledReq()
+	bad.SimMode = "fast"
+	if _, err := s.Submit(bad); err == nil {
+		t.Error("unknown sim_mode accepted")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/simpoint"
 	"repro/internal/workload"
 )
 
@@ -27,6 +28,10 @@ type Config struct {
 	// CacheMaxEntries bounds the result cache; least-recently-used
 	// results are evicted past the bound (0: unbounded).
 	CacheMaxEntries int
+	// CacheMaxBytes bounds the result cache's total encoded size in
+	// bytes; least-recently-used results are evicted past the bound
+	// (0: unbounded). Both bounds may be set; eviction satisfies both.
+	CacheMaxBytes int64
 
 	// MaxAttempts bounds attempts per cell: transiently-failed cells
 	// (panic, timeout, stall) are retried with exponential backoff up to
@@ -115,13 +120,14 @@ const persistDebounce = 100 * time.Millisecond
 // deduplicates identical in-flight runs, and answers repeated cells from
 // the content-addressed result cache.
 type Service struct {
-	cfg    Config
-	cache  *Cache
-	pool   *harness.Pool
-	ctx    context.Context
-	cancel context.CancelFunc
-	inj    *faults.Injector
-	rec    *obs.Recorder
+	cfg     Config
+	cache   *Cache
+	ckstore *ckptStore
+	pool    *harness.Pool
+	ctx     context.Context
+	cancel  context.CancelFunc
+	inj     *faults.Injector
+	rec     *obs.Recorder
 
 	mu       sync.Mutex
 	closed   bool
@@ -137,6 +143,15 @@ type Service struct {
 	// handful per deployment.
 	ckMu  sync.Mutex
 	ckpts map[string]*ckFlight
+
+	// Sample-plan tier: one BBV profile + clustering + checkpoint series
+	// per (workload fingerprint, window, sampling config), built once
+	// under singleflight and executed by every sampled-mode cell that
+	// shares it (see RunSpec.PlanKey). The expensive part of sampled mode
+	// — one functional profiling pass plus k-means — is thereby paid once
+	// per workload per sweep shape, like the checkpoint tier above.
+	planMu sync.Mutex
+	plans  map[string]*planFlight
 
 	// Write-behind cache persistence: schedulePersist debounces a
 	// background save after each terminal job; repeated failures flip
@@ -173,10 +188,19 @@ type Service struct {
 	ckptsCaptured   atomic.Uint64 // warmup checkpoints captured
 	ckptHits        atomic.Uint64 // cells that restored an existing checkpoint
 	warmupSimulated atomic.Uint64 // warmup instructions actually simulated
+	ckptsPersisted  atomic.Uint64 // checkpoints written to the disk store
+	ckptDiskHits    atomic.Uint64 // checkpoint-tier misses answered from disk
+
+	plansBuilt     atomic.Uint64 // sample plans built (profile + cluster + checkpoints)
+	planHits       atomic.Uint64 // sampled cells that reused an existing plan
+	sampledCells   atomic.Uint64 // cells executed in sampled mode
+	sampledInstrs  atomic.Uint64 // detailed instructions executed by sampled cells
+	profiledInstrs atomic.Uint64 // functional instructions spent profiling BBVs
 
 	reg      *obs.Registry
 	runDur   *obs.Histogram // per-run wall time
 	queueLat *obs.Histogram // submit-to-start latency per cell
+	planDur  *obs.Histogram // sample-plan build wall time
 }
 
 // flight is one in-progress simulation with every (job, cell) waiting on
@@ -198,6 +222,14 @@ type ckFlight struct {
 	ck   *arch.Checkpoint
 }
 
+// planFlight is one sample-plan-tier entry: the first sampled cell to
+// need it profiles/clusters/captures while later cells block on done.
+type planFlight struct {
+	done chan struct{}
+	sp   *harness.SamplePlan
+	err  error
+}
+
 // New starts a service. The persisted cache at cfg.CachePath, if any, is
 // loaded so a restarted server answers repeated sweeps from cache; an
 // unreadable cache never prevents startup — the service starts with an
@@ -216,10 +248,12 @@ func New(cfg Config) (*Service, error) {
 	}
 	cache.SetFaults(cfg.Faults)
 	cache.SetMaxEntries(cfg.CacheMaxEntries)
+	cache.SetMaxBytes(cfg.CacheMaxBytes)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:      cfg,
 		cache:    cache,
+		ckstore:  newCkptStore(cfg.CachePath, cfg.Faults),
 		ctx:      ctx,
 		cancel:   cancel,
 		inj:      cfg.Faults,
@@ -227,6 +261,7 @@ func New(cfg Config) (*Service, error) {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*flight),
 		ckpts:    make(map[string]*ckFlight),
+		plans:    make(map[string]*planFlight),
 	}
 	if loadFailed {
 		s.cacheLoadFailed.Store(true)
@@ -263,6 +298,12 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(s.cache.Len()) })
 	gau("sdo_cache_max_entries", "Configured result-cache bound (0: unbounded).",
 		func() float64 { return float64(s.cache.MaxEntries()) })
+	gau("sdo_cache_bytes", "Total encoded size of cached results.",
+		func() float64 { return float64(s.cache.Bytes()) })
+	gau("sdo_cache_max_bytes", "Configured result-cache byte bound (0: unbounded).",
+		func() float64 { return float64(s.cache.MaxBytes()) })
+	ctr("sdo_cache_evicted_bytes_total", "Encoded bytes evicted by the cache bounds.",
+		func() float64 { return float64(s.cache.EvictedBytes()) })
 	ctr("sdo_cache_corrupt_entries_total", "Persisted entries dropped by checksum verification.",
 		func() float64 { return float64(s.cache.CorruptEntries()) })
 	ctr("sdo_cache_quarantined_files_total", "Unparseable cache files quarantined (renamed aside).",
@@ -320,10 +361,26 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(s.ckptHits.Load()) })
 	ctr("sdo_warmup_instrs_simulated_total", "Warmup instructions actually simulated (checkpoint reuse keeps this at one warmup per workload).",
 		func() float64 { return float64(s.warmupSimulated.Load()) })
+	ctr("sdo_checkpoints_persisted_total", "Warmup checkpoints written to the on-disk store.",
+		func() float64 { return float64(s.ckptsPersisted.Load()) })
+	ctr("sdo_checkpoint_disk_hits_total", "Checkpoint-tier misses answered from the on-disk store (warmup skipped across restarts).",
+		func() float64 { return float64(s.ckptDiskHits.Load()) })
+	ctr("sdo_sample_plans_built_total", "Sampling plans built (BBV profile + clustering + checkpoint series).",
+		func() float64 { return float64(s.plansBuilt.Load()) })
+	ctr("sdo_sample_plan_hits_total", "Sampled cells that reused an existing sampling plan.",
+		func() float64 { return float64(s.planHits.Load()) })
+	ctr("sdo_sampled_cells_total", "Cells executed in sampled (SimPoint) mode.",
+		func() float64 { return float64(s.sampledCells.Load()) })
+	ctr("sdo_sampled_detailed_instrs_total", "Detailed instructions executed by sampled cells (vs. max_instrs per cell in detailed mode).",
+		func() float64 { return float64(s.sampledInstrs.Load()) })
+	ctr("sdo_profiled_instrs_total", "Functional instructions spent on BBV profiling passes.",
+		func() float64 { return float64(s.profiledInstrs.Load()) })
 	s.runDur = r.NewHistogram("sdo_run_duration_seconds",
 		"Wall time of individual executed simulations.", obs.DefaultLatencyBuckets())
 	s.queueLat = r.NewHistogram("sdo_queue_latency_seconds",
 		"Submit-to-start latency of scheduled cells.", obs.DefaultLatencyBuckets())
+	s.planDur = r.NewHistogram("sdo_sample_plan_seconds",
+		"Wall time of sampling-plan builds (profile + cluster + checkpoints).", obs.DefaultLatencyBuckets())
 	s.reg = r
 }
 
@@ -414,6 +471,18 @@ type SweepRequest struct {
 	// cells restore a per-(workload, warmup) checkpoint from the service's
 	// checkpoint tier instead of re-simulating warmup.
 	WarmupMode string `json:"warmup_mode,omitempty"`
+	// SimMode is "detailed" (default: cycle-accurate whole window) or
+	// "sampled" (SimPoint-style: BBV-cluster the window, run only the
+	// representative interval of each phase, reconstruct whole-window
+	// stats from the weighted per-instruction rates). Sampled jobs share
+	// one sampling plan per workload via the service's plan tier and are
+	// cached under sampling-aware keys, distinct from detailed results.
+	SimMode string `json:"sim_mode,omitempty"`
+	// SampleIntervalInstrs, SampleMaxK and SampleSeed are the sampled-mode
+	// parameters (0 means the simpoint package defaults: 5000 / 8 / 1).
+	SampleIntervalInstrs uint64 `json:"sample_interval_instrs,omitempty"`
+	SampleMaxK           int    `json:"sample_max_k,omitempty"`
+	SampleSeed           uint64 `json:"sample_seed,omitempty"`
 	// Ablations turns the job into a design-space study: per model and
 	// workload it runs the Unsafe baseline plus the harness's ablation
 	// rows on Hybrid (Variants is ignored), and the export endpoint serves
@@ -448,6 +517,24 @@ func (s *Service) resolve(req SweepRequest) (harness.Options, []RunSpec, error) 
 		return opt, nil, err
 	}
 	opt.WarmupMode = wm
+	sm, err := harness.ParseSimMode(req.SimMode)
+	if err != nil {
+		return opt, nil, err
+	}
+	opt.SimMode = sm
+	if sm == harness.SimSampled {
+		if req.Ablations {
+			return opt, nil, errors.New(`simsvc: ablation studies run detailed simulation; use sim_mode "detailed"`)
+		}
+		if req.IntervalCycles != 0 {
+			return opt, nil, errors.New(`simsvc: interval statistics are a whole-window construct; sim_mode "sampled" does not support interval_cycles`)
+		}
+		opt.Sample = simpoint.Config{
+			IntervalInstrs: req.SampleIntervalInstrs,
+			MaxK:           req.SampleMaxK,
+			Seed:           req.SampleSeed,
+		}
+	}
 	if len(req.Workloads) > 0 {
 		var wls []workload.Workload
 		for _, name := range req.Workloads {
@@ -492,7 +579,7 @@ func (s *Service) resolve(req SweepRequest) (harness.Options, []RunSpec, error) 
 			continue
 		}
 		seen[k] = true
-		cells = append(cells, RunSpec{
+		c := RunSpec{
 			Workload:       k.Workload,
 			Variant:        k.Variant,
 			Model:          k.Model,
@@ -500,7 +587,16 @@ func (s *Service) resolve(req SweepRequest) (harness.Options, []RunSpec, error) 
 			MaxInstrs:      opt.MaxInstrs,
 			IntervalCycles: opt.IntervalCycles,
 			WarmupMode:     opt.WarmupMode,
-		})
+			SimMode:        opt.SimMode,
+		}
+		if opt.SimMode == harness.SimSampled {
+			// Normalized() filled the sampling defaults; stamping them into
+			// the spec makes the cache key explicit about what actually ran.
+			c.SampleInterval = opt.Sample.IntervalInstrs
+			c.SampleMaxK = opt.Sample.MaxK
+			c.SampleSeed = opt.Sample.Seed
+		}
+		cells = append(cells, c)
 	}
 	return opt, cells, nil
 }
@@ -644,12 +740,14 @@ func (s *Service) evictJobsLocked() {
 	}
 }
 
-// checkpoint returns the warmup checkpoint for key, capturing it on first
-// use (singleflight: concurrent cells for the same workload block until
-// the one capture finishes). A panicking capture is isolated: this cell
-// (and any that were blocked on the flight) gets nil and falls back to
-// in-place warmup; the flight is dropped so a later cell can retry the
-// capture.
+// checkpoint returns the warmup checkpoint for key: from the in-memory
+// tier, else from the on-disk store (a restarted server restores warm
+// state instead of re-simulating warmup), else captured fresh — under
+// singleflight, so concurrent cells for the same workload block until the
+// one load/capture finishes. A freshly-captured checkpoint is persisted
+// best-effort for the next restart. A panicking capture is isolated: this
+// cell (and any that were blocked on the flight) gets nil and falls back
+// to in-place warmup; the flight is dropped so a later cell can retry.
 func (s *Service) checkpoint(key string, wl workload.Workload, warmup uint64) *arch.Checkpoint {
 	s.ckMu.Lock()
 	f, ok := s.ckpts[key]
@@ -657,6 +755,7 @@ func (s *Service) checkpoint(key string, wl workload.Workload, warmup uint64) *a
 		f = &ckFlight{done: make(chan struct{})}
 		s.ckpts[key] = f
 		s.ckMu.Unlock()
+		fromDisk := false
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -664,6 +763,10 @@ func (s *Service) checkpoint(key string, wl workload.Workload, warmup uint64) *a
 				}
 				close(f.done)
 			}()
+			if ck := s.ckstore.load(key, warmup); ck != nil {
+				f.ck, fromDisk = ck, true
+				return
+			}
 			f.ck = harness.CaptureCheckpoint(wl, warmup)
 		}()
 		if f.ck == nil {
@@ -672,8 +775,19 @@ func (s *Service) checkpoint(key string, wl workload.Workload, warmup uint64) *a
 			s.ckMu.Unlock()
 			return nil
 		}
+		if fromDisk {
+			s.ckptDiskHits.Add(1)
+			return f.ck
+		}
 		s.ckptsCaptured.Add(1)
 		s.warmupSimulated.Add(f.ck.Arch.Instrs)
+		if s.ckstore.enabled() {
+			if err := s.ckstore.save(key, f.ck); err != nil {
+				s.event("checkpoint-persist-failed", err.Error())
+			} else {
+				s.ckptsPersisted.Add(1)
+			}
+		}
 		return f.ck
 	}
 	s.ckMu.Unlock()
@@ -682,6 +796,60 @@ func (s *Service) checkpoint(key string, wl workload.Workload, warmup uint64) *a
 		s.ckptHits.Add(1)
 	}
 	return f.ck
+}
+
+// samplePlan returns the sampling plan for key, building it on first use
+// (singleflight: concurrent sampled cells for the same workload block
+// until the one profile/cluster/capture pass finishes). A failed or
+// panicking build fails this cell and any blocked on the flight; the
+// flight is dropped so a later cell can retry.
+func (s *Service) samplePlan(key string, wl workload.Workload, spec RunSpec) (*harness.SamplePlan, error) {
+	s.planMu.Lock()
+	f, ok := s.plans[key]
+	if !ok {
+		f = &planFlight{done: make(chan struct{})}
+		s.plans[key] = f
+		s.planMu.Unlock()
+		start := time.Now()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					f.err = fmt.Errorf("simsvc: sample plan for %s panicked: %v", spec.Workload, r)
+					s.event("plan-panic", fmt.Sprintf("%s: %v", key, r))
+				}
+				close(f.done)
+			}()
+			cfg := simpoint.Config{IntervalInstrs: spec.SampleInterval, MaxK: spec.SampleMaxK, Seed: spec.SampleSeed}
+			f.sp, f.err = harness.BuildSamplePlan(wl, spec.WarmupInstrs, spec.MaxInstrs, cfg)
+		}()
+		if f.err != nil {
+			s.planMu.Lock()
+			delete(s.plans, key)
+			s.planMu.Unlock()
+			return nil, f.err
+		}
+		s.planDur.Observe(time.Since(start).Seconds())
+		s.plansBuilt.Add(1)
+		s.profiledInstrs.Add(f.sp.Plan.ProfiledInstrs)
+		s.ckptsCaptured.Add(uint64(len(f.sp.Checkpoints)))
+		if n := len(f.sp.Checkpoints); n > 0 {
+			// One continuous capture pass warms to the last boundary.
+			s.warmupSimulated.Add(f.sp.Checkpoints[n-1].Arch.Instrs)
+		}
+		if s.rec.On(obs.ClassSample) {
+			s.rec.Emit(obs.Event{Class: obs.ClassSample, Kind: "plan-built",
+				Detail: fmt.Sprintf("%s: k=%d/%d intervals, sampled %d/%d instrs, err-est %.3f",
+					spec.Workload, f.sp.Plan.K, f.sp.Plan.NumIntervals,
+					f.sp.Plan.SampledInstrs(), f.sp.Plan.WindowInstrs, f.sp.Plan.ErrEstimate)})
+		}
+		return f.sp, nil
+	}
+	s.planMu.Unlock()
+	<-f.done
+	if f.sp != nil {
+		s.planHits.Add(1)
+	}
+	return f.sp, f.err
 }
 
 // Job returns a submitted job by ID.
@@ -789,7 +957,15 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 			IntervalCycles: spec.IntervalCycles,
 			WarmupMode:     spec.WarmupMode,
 		}
-		if spec.WarmupMode == core.WarmupFunctional && spec.WarmupInstrs > 0 {
+		var sp *harness.SamplePlan
+		if spec.simMode() == harness.SimSampled {
+			// Sampled cells execute a shared per-workload sampling plan;
+			// warmup accounting happens once, at plan-build time.
+			var planKey string
+			if planKey, err = spec.PlanKey(); err == nil {
+				sp, err = s.samplePlan(planKey, wl, spec)
+			}
+		} else if spec.WarmupMode == core.WarmupFunctional && spec.WarmupInstrs > 0 {
 			var ckKey string
 			if ckKey, err = spec.CheckpointKey(); err == nil {
 				if p.Checkpoint = s.checkpoint(ckKey, wl, spec.WarmupInstrs); p.Checkpoint == nil {
@@ -815,7 +991,20 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 			// cancelled job's cells abort via pol.Abort only once no
 			// other live job waits on them.
 			start := time.Now()
-			r, retries, err = harness.RunCell(context.Background(), wl, spec.Variant, spec.Model, spec.Ablate, p, pol, s.inj)
+			if sp != nil {
+				// Representative intervals run serially within the cell
+				// (workers=1): the service pool already parallelizes
+				// across cells, and each interval is its own fault-
+				// isolated RunCell attempt.
+				r, retries, err = harness.RunSampledCell(context.Background(), 1,
+					wl, spec.Variant, spec.Model, spec.Ablate, sp, p, pol, s.inj)
+				if err == nil {
+					s.sampledCells.Add(1)
+					s.sampledInstrs.Add(sp.Plan.SampledInstrs())
+				}
+			} else {
+				r, retries, err = harness.RunCell(context.Background(), wl, spec.Variant, spec.Model, spec.Ablate, p, pol, s.inj)
+			}
 			elapsed := time.Since(start)
 			s.runNanos.Add(uint64(elapsed))
 			s.runDur.Observe(elapsed.Seconds())
@@ -960,18 +1149,20 @@ func (s *Service) Shutdown(ctx context.Context) error {
 
 // Metrics is a point-in-time snapshot of the service counters.
 type Metrics struct {
-	CacheHits      uint64
-	CacheMisses    uint64
-	CacheEvictions uint64
-	CacheEntries   int
-	QueueDepth     int
-	InFlight       int
-	Workers        int
-	RunsExecuted   uint64
-	RunsDeduped    uint64
-	RunsSkipped    uint64
-	RunSeconds     float64
-	JobsTotal      uint64
+	CacheHits         uint64
+	CacheMisses       uint64
+	CacheEvictions    uint64
+	CacheEntries      int
+	CacheBytes        int64
+	CacheEvictedBytes uint64
+	QueueDepth        int
+	InFlight          int
+	Workers           int
+	RunsExecuted      uint64
+	RunsDeduped       uint64
+	RunsSkipped       uint64
+	RunSeconds        float64
+	JobsTotal         uint64
 
 	Retries      uint64
 	CellsFailed  uint64
@@ -991,6 +1182,14 @@ type Metrics struct {
 	CheckpointsCaptured   uint64
 	CheckpointHits        uint64
 	WarmupInstrsSimulated uint64
+	CheckpointsPersisted  uint64
+	CheckpointDiskHits    uint64
+
+	SamplePlansBuilt      uint64
+	SamplePlanHits        uint64
+	SampledCells          uint64
+	SampledDetailedInstrs uint64
+	ProfiledInstrs        uint64
 }
 
 // Snapshot gathers the current metrics.
@@ -1000,18 +1199,20 @@ func (s *Service) Snapshot() Metrics {
 	tracked := len(s.jobs)
 	s.mu.Unlock()
 	return Metrics{
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEvictions: s.cache.Evictions(),
-		CacheEntries:   s.cache.Len(),
-		QueueDepth:     s.pool.QueueDepth(),
-		InFlight:       s.pool.Active(),
-		Workers:        s.cfg.Workers,
-		RunsExecuted:   s.runsExecuted.Load(),
-		RunsDeduped:    s.runsDeduped.Load(),
-		RunsSkipped:    s.runsSkipped.Load(),
-		RunSeconds:     float64(s.runNanos.Load()) / 1e9,
-		JobsTotal:      s.jobsTotal.Load(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEvictions:    s.cache.Evictions(),
+		CacheEntries:      s.cache.Len(),
+		CacheBytes:        s.cache.Bytes(),
+		CacheEvictedBytes: s.cache.EvictedBytes(),
+		QueueDepth:        s.pool.QueueDepth(),
+		InFlight:          s.pool.Active(),
+		Workers:           s.cfg.Workers,
+		RunsExecuted:      s.runsExecuted.Load(),
+		RunsDeduped:       s.runsDeduped.Load(),
+		RunsSkipped:       s.runsSkipped.Load(),
+		RunSeconds:        float64(s.runNanos.Load()) / 1e9,
+		JobsTotal:         s.jobsTotal.Load(),
 
 		Retries:      s.retriesTotal.Load(),
 		CellsFailed:  s.cellsFailed.Load(),
@@ -1031,5 +1232,13 @@ func (s *Service) Snapshot() Metrics {
 		CheckpointsCaptured:   s.ckptsCaptured.Load(),
 		CheckpointHits:        s.ckptHits.Load(),
 		WarmupInstrsSimulated: s.warmupSimulated.Load(),
+		CheckpointsPersisted:  s.ckptsPersisted.Load(),
+		CheckpointDiskHits:    s.ckptDiskHits.Load(),
+
+		SamplePlansBuilt:      s.plansBuilt.Load(),
+		SamplePlanHits:        s.planHits.Load(),
+		SampledCells:          s.sampledCells.Load(),
+		SampledDetailedInstrs: s.sampledInstrs.Load(),
+		ProfiledInstrs:        s.profiledInstrs.Load(),
 	}
 }
