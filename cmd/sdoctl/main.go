@@ -16,6 +16,7 @@
 //	sdoctl cancel sweep-1
 //	sdoctl health
 //	sdoctl metrics
+//	sdoctl spec                      # speculation status (server: -speculate)
 //
 // The server defaults to $SDOCTL_SERVER, then http://localhost:8344.
 package main
@@ -56,6 +57,7 @@ commands:
   cancel    cancel a running job:         sdoctl cancel <id>
   health    show the server's /healthz document
   metrics   dump the server's /metrics document
+  spec      show speculation status (/spec; server must run -speculate)
 `)
 }
 
@@ -116,6 +118,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return c.showJSON("/healthz")
 	case "metrics":
 		return c.stream("/metrics")
+	case "spec":
+		return c.showJSON("/spec")
 	default:
 		fmt.Fprintf(stderr, "sdoctl: unknown command %q\n\n", cmd)
 		usage(stderr)

@@ -54,6 +54,11 @@ func main() {
 		jobTTL       = flag.Duration("job-ttl", 0, "evict finished jobs from the registry after this long (0: no TTL)")
 		maxJobs      = flag.Int("max-jobs", 0, "job-registry bound; oldest finished jobs evicted past it (0: default 4096)")
 		faultSpec    = flag.String("faults", "", "chaos fault-injection spec, e.g. seed=1,panic=0.05,slow=0.1 (also $"+faults.EnvVar+")")
+		autoTimeout  = flag.Bool("auto-timeout", false, "auto-tune the per-cell timeout from the observed run-duration distribution (p99 × 3, clamped; -cell-timeout becomes the upper clamp)")
+
+		speculate   = flag.Bool("speculate", false, "pre-execute predicted follow-up sweeps on idle workers (internal/specexec)")
+		specBudget  = flag.Duration("spec-budget", 0, "wasted-CPU budget for speculation; exhausting it stops pre-execution (0: default 5m)")
+		specJournal = flag.String("spec-journal", "", "submission-history journal file for the predictor (default: <cache>.history)")
 	)
 	flag.Parse()
 
@@ -82,6 +87,10 @@ func main() {
 		JobTTL:          *jobTTL,
 		MaxJobs:         *maxJobs,
 		Faults:          inj,
+		AutoTimeout:     *autoTimeout,
+		Speculate:       *speculate,
+		SpecBudget:      *specBudget,
+		SpecJournal:     *specJournal,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdoserver:", err)
@@ -89,6 +98,9 @@ func main() {
 	}
 	if n := svc.Cache().Len(); n > 0 {
 		fmt.Fprintf(os.Stderr, "sdoserver: loaded %d cached results from %s\n", n, *cache)
+	}
+	if *speculate {
+		fmt.Fprintln(os.Stderr, "sdoserver: speculative pre-execution enabled (status at GET /spec)")
 	}
 
 	handler := svc.Handler()

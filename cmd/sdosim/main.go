@@ -96,10 +96,10 @@ func main() {
 		fatal(err)
 	}
 	if mode == harness.SimSampled {
-		if *trace != "" || *interval > 0 {
-			fatal(fmt.Errorf("-trace and -interval require whole-window simulation; drop them or use -sim-mode detailed"))
+		if *trace != "" {
+			fatal(fmt.Errorf("-trace requires whole-window simulation; drop it or use -sim-mode detailed"))
 		}
-		runSampled(wl, v, m, *warmup, *instrs, simpoint.Config{
+		runSampled(wl, v, m, *warmup, *instrs, *interval, *intervalOut, simpoint.Config{
 			IntervalInstrs: *sampleInterval, MaxK: *sampleMaxK, Seed: *sampleSeed,
 		})
 		return
@@ -222,14 +222,18 @@ func main() {
 }
 
 // runSampled executes one cell in SimPoint-sampled mode and prints the
-// plan summary plus the reconstructed whole-window statistics.
-func runSampled(wl workload.Workload, v core.Variant, m pipeline.AttackModel, warmup, instrs uint64, cfg simpoint.Config) {
+// plan summary plus the reconstructed whole-window statistics. With
+// interval > 0 each representative window carries its own time series,
+// written with its reconstruction weight (there is no whole-window
+// series to fake — the gaps between windows were never simulated).
+func runSampled(wl workload.Workload, v core.Variant, m pipeline.AttackModel, warmup, instrs, interval uint64, intervalOut string, cfg simpoint.Config) {
 	sp, err := harness.BuildSamplePlan(wl, warmup, instrs, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	res, _, err := harness.RunSampledCell(context.Background(), runtime.GOMAXPROCS(0),
-		wl, v, m, core.Ablation{}, sp, harness.RunParams{}, harness.RunPolicy{}, nil)
+		wl, v, m, core.Ablation{}, sp, harness.RunParams{IntervalCycles: interval},
+		harness.RunPolicy{}, nil)
 	if err != nil {
 		fatal(err)
 	}
@@ -252,6 +256,29 @@ func runSampled(wl workload.Workload, v core.Variant, m pipeline.AttackModel, wa
 	row("est. validations / exposures", fmt.Sprintf("%d / %d", res.Validations, res.Exposures))
 	row("est. L1D hits/misses", fmt.Sprintf("%d / %d", res.L1DHits, res.L1DMisses))
 	tw.Flush()
+
+	if interval > 0 {
+		var w io.Writer = os.Stdout
+		if intervalOut != "" && intervalOut != "-" {
+			f, err := os.Create(intervalOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		} else {
+			fmt.Printf("\nsampled interval series (every %d cycles, %d windows):\n",
+				interval, len(res.SampledWindows))
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			IntervalCycles uint64               `json:"interval_cycles"`
+			SampledWindows []core.SampledWindow `json:"sampled_windows"`
+		}{interval, res.SampledWindows}); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -408,6 +408,31 @@ type Result struct {
 	// structure's capacity; nil unless interval sampling ran).
 	ROBOccHist []uint64 `json:",omitempty"`
 	LQOccHist  []uint64 `json:",omitempty"`
+	// SampledWindows holds the per-representative interval series of a
+	// sampled-mode reconstruction (harness.ReconstructResult): one entry
+	// per detailed-simulated representative window, each carrying the
+	// cluster weight a consumer needs to recombine the series into a
+	// whole-window estimate. Nil for detailed whole-window runs, whose
+	// series lives in Intervals.
+	SampledWindows []SampledWindow `json:",omitempty"`
+}
+
+// SampledWindow is the interval time series of one representative window
+// of a sampled-mode run: the window's position in the measurement window,
+// its cluster weight, and the per-interval points detailed simulation
+// produced inside it. Windows do not tile the measurement window — the
+// gaps between them were skipped by design — so time-series consumers
+// must weight, not concatenate.
+type SampledWindow struct {
+	// Start and Len bound the window in committed instructions from the
+	// start of the measurement window.
+	Start uint64 `json:"start"`
+	Len   uint64 `json:"len"`
+	// Weight is the window's cluster weight (fractions sum to ~1 across
+	// windows); an interval metric's whole-window estimate is the
+	// weight-averaged combination across windows.
+	Weight    float64         `json:"weight"`
+	Intervals []IntervalPoint `json:"intervals"`
 }
 
 // Run simulates to halt (or the configured bounds) and gathers results.

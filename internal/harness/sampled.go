@@ -77,14 +77,16 @@ func BuildSamplePlan(wl workload.Workload, warmup, window uint64, cfg simpoint.C
 // repParams derives the RunParams of one representative interval from the
 // cell's base params: restore the representative's checkpoint (functional
 // warmup to its start boundary) and run detailed for its length. Interval
-// time series are a whole-window construct, so they are disabled.
+// sampling (IntervalCycles) is inherited: each representative produces
+// its own time series, collected into Result.SampledWindows by
+// ReconstructResult's callers rather than flattened into one fake
+// whole-window series.
 func (sp *SamplePlan) repParams(base RunParams, ri int) RunParams {
 	p := base
 	p.WarmupMode = core.WarmupFunctional
 	p.WarmupInstrs = sp.Plan.Reps[ri].Start
 	p.MaxInstrs = sp.Plan.Reps[ri].Len
 	p.Checkpoint = sp.Checkpoints[ri]
-	p.IntervalCycles = 0
 	return p
 }
 
@@ -137,7 +139,29 @@ func RunSampledCell(ctx context.Context, workers int, wl workload.Workload, v co
 	if err != nil {
 		return core.Result{}, retries, err
 	}
-	return ReconstructResult(sp.Plan, reps), retries, nil
+	out := ReconstructResult(sp.Plan, reps)
+	attachSampledWindows(sp.Plan, reps, &out)
+	return out, retries, nil
+}
+
+// attachSampledWindows collects the representatives' interval series
+// (present when the cell ran with IntervalCycles > 0) into the
+// reconstructed result as weighted per-window series. Counters stay the
+// weighted whole-window reconstruction; the time series is reported in
+// its honest per-window form instead of being silently dropped.
+func attachSampledWindows(plan *simpoint.Plan, reps []core.Result, out *core.Result) {
+	for i, rep := range plan.Reps {
+		if i >= len(reps) || len(reps[i].Intervals) == 0 {
+			continue
+		}
+		out.IntervalCycles = reps[i].IntervalCycles // config echo
+		out.SampledWindows = append(out.SampledWindows, core.SampledWindow{
+			Start:     rep.Start,
+			Len:       rep.Len,
+			Weight:    rep.Weight,
+			Intervals: reps[i].Intervals,
+		})
+	}
 }
 
 // ReconstructResult recombines the representatives' results into the
@@ -149,9 +173,10 @@ func RunSampledCell(ctx context.Context, workers int, wl workload.Workload, v co
 // whole window's instruction count. Committed therefore reconstructs to
 // ≈ the window itself, Cycles to the estimated whole-window execution
 // time, and ratio metrics (IPC, normalized time, squashes/kilo-instr)
-// follow. Interval series and occupancy histograms are whole-window
-// artifacts and stay nil; Result.IntervalCycles is config echo, not a
-// counter, and is skipped by name.
+// follow. Occupancy histograms are whole-window artifacts and stay nil;
+// interval series are carried per representative window (see
+// attachSampledWindows), not flattened here; Result.IntervalCycles is
+// config echo, not a counter, and is skipped by name.
 func ReconstructResult(plan *simpoint.Plan, reps []core.Result) core.Result {
 	var out core.Result
 	var acc []float64
@@ -303,6 +328,7 @@ func runSampledSweep(ctx context.Context, opt Options, res *Results, byName map[
 			continue
 		}
 		r := ReconstructResult(plans[k.Workload].Plan, perCell[ci])
+		attachSampledWindows(plans[k.Workload].Plan, perCell[ci], &r)
 		res.Runs[k] = r
 		if opt.Progress != nil {
 			opt.Progress(FormatProgress(k, r))

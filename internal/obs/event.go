@@ -51,8 +51,12 @@ const (
 	// pipeline: BBV profiling passes, clustering outcomes (sampling-plan
 	// builds) and sampled-cell reconstruction.
 	ClassSample
+	// ClassSpec covers speculative sweep pre-execution above the pipeline:
+	// prediction rounds, speculative cell starts/completions, demand hits
+	// on pre-executed entries, cancellations and governor throttling.
+	ClassSpec
 
-	numClasses = 12
+	numClasses = 13
 )
 
 // ClassAll enables every event class.
@@ -73,6 +77,7 @@ var classNames = map[Class]string{
 	ClassFP:     "fp",
 	ClassFault:  "fault",
 	ClassSample: "sample",
+	ClassSpec:   "spec",
 }
 
 // ClassNames returns the canonical class names in stable order.

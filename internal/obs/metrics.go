@@ -205,6 +205,35 @@ func (h *Histogram) Count() uint64 {
 	return h.count
 }
 
+// Quantile estimates the q-quantile (0..1) from the bucket counts: the
+// upper bound of the first bucket whose cumulative count reaches
+// q*count. Samples in the overflow (+Inf) bucket are attributed twice
+// the last finite bound — a deliberate overestimate, since callers use
+// quantiles to derive deadlines and an underestimate would kill healthy
+// runs. With no observations (or no finite bounds) it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := q * float64(h.count)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		if float64(cum) >= need {
+			return b
+		}
+	}
+	return 2 * h.bounds[len(h.bounds)-1]
+}
+
 func (h *Histogram) name() string { return h.nm }
 func (h *Histogram) write(w io.Writer) {
 	h.mu.Lock()

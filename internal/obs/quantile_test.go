@@ -1,0 +1,37 @@
+package obs
+
+import "testing"
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q_test_seconds", "test", []float64{0.1, 1, 10})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 90 fast samples, 9 medium, 1 slow.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.5)
+	}
+	h.Observe(5)
+	if got := h.Quantile(0.5); got != 0.1 {
+		t.Fatalf("p50 = %v, want 0.1 (first bucket bound)", got)
+	}
+	if got := h.Quantile(0.95); got != 1 {
+		t.Fatalf("p95 = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("p100 = %v, want 10", got)
+	}
+	// Overflow samples are attributed 2x the last finite bound.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 20 {
+		t.Fatalf("p100 with overflow = %v, want 20", got)
+	}
+	// Out-of-range q clamps rather than panicking.
+	if got := h.Quantile(-1); got <= 0 {
+		t.Fatalf("clamped q=-1 gave %v", got)
+	}
+}

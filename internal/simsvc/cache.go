@@ -182,6 +182,17 @@ func (c *Cache) Get(key string) (core.Result, bool) {
 	return el.Value.(*lruEntry).res, true
 }
 
+// Contains reports whether key is cached, without touching the hit/miss
+// counters or the LRU order — the speculation scheduler peeks at the
+// cache to skip already-answered candidate cells, and a peek is not a
+// demand lookup.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
 // Put stores a completed result as the most recently used entry, evicting
 // the least recently used one if the bound is exceeded.
 func (c *Cache) Put(key string, r core.Result) {

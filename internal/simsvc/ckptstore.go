@@ -2,6 +2,7 @@ package simsvc
 
 import (
 	"crypto/sha256"
+	"encoding/gob"
 	"encoding/hex"
 	"fmt"
 	"os"
@@ -9,6 +10,8 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/faults"
+	"repro/internal/harness"
+	"repro/internal/simpoint"
 )
 
 // ckptDirSuffix names the checkpoint directory next to the result cache:
@@ -64,6 +67,78 @@ func (st *ckptStore) load(key string, warmup uint64) *arch.Checkpoint {
 		return nil
 	}
 	return ck
+}
+
+// planFile is the serialized (gob) form of one sampling plan: the plan
+// itself, its representative checkpoints, and the inputs it was built
+// from — validated on load so a stale or colliding file is rebuilt
+// rather than trusted.
+type planFile struct {
+	Warmup, Window uint64
+	Cfg            simpoint.Config
+	Plan           *simpoint.Plan
+	Checkpoints    []*arch.Checkpoint
+}
+
+// planPath maps a plan key to its file, next to the checkpoints.
+func (st *ckptStore) planPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(st.dir, hex.EncodeToString(sum[:16])+".plan")
+}
+
+// loadPlan reads and validates the sampling plan for key. Any failure —
+// missing file, decode error, or a plan built from different inputs —
+// yields nil and the caller rebuilds (one BBV profile + clustering +
+// capture pass, exactly as if the file did not exist).
+func (st *ckptStore) loadPlan(key string, warmup, window uint64, cfg simpoint.Config) *harness.SamplePlan {
+	if !st.enabled() || st.inj.LoadErr() != nil {
+		return nil
+	}
+	f, err := os.Open(st.planPath(key))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var pf planFile
+	if err := gob.NewDecoder(f).Decode(&pf); err != nil {
+		return nil
+	}
+	if pf.Plan == nil || pf.Warmup != warmup || pf.Window != window || pf.Cfg != cfg ||
+		len(pf.Checkpoints) != len(pf.Plan.Reps) {
+		return nil
+	}
+	return &harness.SamplePlan{Plan: pf.Plan, Checkpoints: pf.Checkpoints}
+}
+
+// savePlan writes the sampling plan atomically (temp file + rename), so
+// a restarted server skips the BBV re-profiling pass entirely.
+func (st *ckptStore) savePlan(key string, warmup, window uint64, cfg simpoint.Config, sp *harness.SamplePlan) error {
+	if !st.enabled() {
+		return nil
+	}
+	if err := st.inj.SaveErr(); err != nil {
+		return fmt.Errorf("simsvc: save plan: %w", err)
+	}
+	if err := os.MkdirAll(st.dir, 0o755); err != nil {
+		return fmt.Errorf("simsvc: save plan: %w", err)
+	}
+	tmp, err := os.CreateTemp(st.dir, ".plan-*")
+	if err != nil {
+		return fmt.Errorf("simsvc: save plan: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	pf := planFile{Warmup: warmup, Window: window, Cfg: cfg, Plan: sp.Plan, Checkpoints: sp.Checkpoints}
+	if err := gob.NewEncoder(tmp).Encode(&pf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("simsvc: save plan: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("simsvc: save plan: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), st.planPath(key)); err != nil {
+		return fmt.Errorf("simsvc: save plan: %w", err)
+	}
+	return nil
 }
 
 // save writes the checkpoint atomically (temp file + rename); a crash

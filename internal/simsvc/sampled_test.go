@@ -2,6 +2,7 @@ package simsvc
 
 import (
 	"context"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -87,6 +88,110 @@ func TestSampledMatchesHarness(t *testing.T) {
 	}
 }
 
+// TestSamplePlanPersistence: sampling plans survive restarts on disk
+// next to the checkpoints, so a restarted server skips the BBV
+// re-profiling pass for workloads it has already planned.
+func TestSamplePlanPersistence(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "cache.json")
+
+	s1 := newService(t, Config{Workers: 2, CachePath: cache})
+	submitAndWait(t, s1, sampledReq())
+	m1 := s1.Snapshot()
+	if m1.SamplePlansBuilt != 2 {
+		t.Fatalf("built %d plans, want 2", m1.SamplePlansBuilt)
+	}
+	if m1.SamplePlansPersisted != 2 {
+		t.Fatalf("persisted %d plans, want 2: %+v", m1.SamplePlansPersisted, m1)
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restarted server running a different variant grid (cells not in
+	// the result cache, but the same plan keys) loads plans from disk
+	// instead of re-profiling.
+	s2 := newService(t, Config{Workers: 2, CachePath: cache})
+	defer s2.Shutdown(context.Background())
+	req := sampledReq()
+	req.Variants = []string{"stt"}
+	j := submitAndWait(t, s2, req)
+	if st := j.Status(); st.Cached != 0 {
+		t.Fatalf("restart sweep unexpectedly cached: %+v", st)
+	}
+	m2 := s2.Snapshot()
+	if m2.SamplePlansBuilt != 0 {
+		t.Errorf("restarted server re-built %d plans, want 0", m2.SamplePlansBuilt)
+	}
+	if m2.SamplePlanDiskHits != 2 {
+		t.Errorf("plan disk hits = %d, want 2", m2.SamplePlanDiskHits)
+	}
+	if m2.ProfiledInstrs != 0 {
+		t.Errorf("restarted server re-profiled %d instrs, want 0", m2.ProfiledInstrs)
+	}
+
+	// Determinism: disk-restored plans reconstruct the same results a
+	// fresh build would (the first server's runs are in the cache — a
+	// re-submission of the original grid must be answered from it with
+	// no new simulation).
+	j2 := submitAndWait(t, s2, sampledReq())
+	if st := j2.Status(); st.Cached != st.Total {
+		t.Errorf("original grid not fully cached after restart: %+v", st)
+	}
+}
+
+// TestSampledIntervalSeries: a sampled job with interval_cycles gets
+// per-representative-window time series (with reconstruction weights)
+// instead of the whole-window Intervals a detailed run would carry.
+func TestSampledIntervalSeries(t *testing.T) {
+	s := newService(t, Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+
+	req := sampledReq()
+	req.IntervalCycles = 200
+	j := submitAndWait(t, s, req)
+	res, err := j.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, r := range res.Runs {
+		if len(r.SampledWindows) == 0 {
+			t.Fatalf("%v: no sampled windows", k)
+		}
+		if r.Intervals != nil {
+			t.Errorf("%v: sampled run carries a whole-window series", k)
+		}
+		if r.IntervalCycles != 200 {
+			t.Errorf("%v: IntervalCycles = %d, want 200", k, r.IntervalCycles)
+		}
+		var weight float64
+		for _, w := range r.SampledWindows {
+			if len(w.Intervals) == 0 {
+				t.Errorf("%v: window @%d has no interval points", k, w.Start)
+			}
+			if w.Len == 0 || w.Weight <= 0 {
+				t.Errorf("%v: window @%d malformed: len=%d weight=%g", k, w.Start, w.Len, w.Weight)
+			}
+			weight += w.Weight
+		}
+		if weight < 0.999 || weight > 1.001 {
+			t.Errorf("%v: window weights sum to %g, want ~1", k, weight)
+		}
+	}
+
+	// Interval sampling is part of the cache key: the same sweep without
+	// it must not be served the windowed results.
+	j2 := submitAndWait(t, s, sampledReq())
+	res2, err := j2.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, r := range res2.Runs {
+		if len(r.SampledWindows) != 0 {
+			t.Errorf("%v: interval-free sampled run carries windows", k)
+		}
+	}
+}
+
 func TestCacheKeySeparatesSimModes(t *testing.T) {
 	detailed := RunSpec{Workload: "mcf_r", WarmupInstrs: 1000, MaxInstrs: 2000}
 	sampled := detailed
@@ -163,11 +268,6 @@ func TestSampledRequestValidation(t *testing.T) {
 	bad.Ablations = true
 	if _, err := s.Submit(bad); err == nil {
 		t.Error("sampled ablation job accepted")
-	}
-	bad = sampledReq()
-	bad.IntervalCycles = 100
-	if _, err := s.Submit(bad); err == nil {
-		t.Error("sampled job with interval_cycles accepted")
 	}
 	bad = sampledReq()
 	bad.SimMode = "fast"

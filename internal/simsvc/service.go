@@ -66,8 +66,38 @@ type Config struct {
 	// (nil in production: zero cost).
 	Faults *faults.Injector
 	// Recorder, when non-nil, receives ClassFault events (cell failures,
-	// retries, quarantine, persistence degradation).
+	// retries, quarantine, persistence degradation) and, with speculation
+	// enabled, ClassSpec events.
 	Recorder *obs.Recorder
+
+	// AutoTimeout derives each cell attempt's wall-clock deadline from
+	// the observed run-duration histogram (p99 × autoTimeoutFactor,
+	// clamped to [1s, CellTimeout-or-10m]) once enough runs have been
+	// observed, instead of the one static CellTimeout. Off by default.
+	AutoTimeout bool
+
+	// Speculate enables predictive pre-execution: the service learns
+	// from the submission history which sweeps tend to follow which and
+	// runs the predicted cells on idle workers into the result cache
+	// (see internal/specexec). Off by default; when off, behavior is
+	// identical to a build without the subsystem.
+	Speculate bool
+	// SpecJournal persists the submission history as JSONL ("" with
+	// CachePath set: derived as CachePath+".history"; "" otherwise:
+	// in-memory history only).
+	SpecJournal string
+	// SpecBudget bounds cumulative wasted speculative compute; once
+	// cancelled/failed/expired speculation exceeds it, speculation is
+	// disabled for the life of the process (0: default 5m).
+	SpecBudget time.Duration
+	// SpecMinConfidence drops predictions scored below it (0: 0.2).
+	SpecMinConfidence float64
+	// SpecMinHitRate throttles speculation while the hit-rate over
+	// resolved speculations sits below it (0: 0.25).
+	SpecMinHitRate float64
+	// SpecMaxCells bounds cells pre-executed per prediction round
+	// (0: 64).
+	SpecMaxCells int
 }
 
 // withDefaults fills the zero-value policy knobs.
@@ -89,6 +119,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryStormThreshold <= 0 {
 		c.RetryStormThreshold = 50
+	}
+	if c.Speculate && c.SpecJournal == "" && c.CachePath != "" {
+		c.SpecJournal = c.CachePath + ".history"
 	}
 	return c
 }
@@ -128,6 +161,7 @@ type Service struct {
 	cancel  context.CancelFunc
 	inj     *faults.Injector
 	rec     *obs.Recorder
+	spec    *speculation // nil unless cfg.Speculate
 
 	mu       sync.Mutex
 	closed   bool
@@ -196,6 +230,8 @@ type Service struct {
 	sampledCells   atomic.Uint64 // cells executed in sampled mode
 	sampledInstrs  atomic.Uint64 // detailed instructions executed by sampled cells
 	profiledInstrs atomic.Uint64 // functional instructions spent profiling BBVs
+	plansPersisted atomic.Uint64 // sample plans written to the disk store
+	planDiskHits   atomic.Uint64 // plan-tier misses answered from disk
 
 	reg      *obs.Registry
 	runDur   *obs.Histogram // per-run wall time
@@ -204,9 +240,15 @@ type Service struct {
 }
 
 // flight is one in-progress simulation with every (job, cell) waiting on
-// it; the executing worker delivers the result to all of them.
+// it; the executing worker delivers the result to all of them. A
+// speculative flight additionally carries its cancellation (squash)
+// hook; a demand cell that joins one claims it, which both counts as a
+// speculation hit and protects it from preemption.
 type flight struct {
 	waiters []delivery
+	spec    bool               // pre-executing a predicted cell
+	claimed bool               // a demand cell joined a speculative flight
+	cancel  context.CancelFunc // squashes a speculative flight (spec only)
 }
 
 type delivery struct {
@@ -268,6 +310,9 @@ func New(cfg Config) (*Service, error) {
 		s.event("cache-load-failed", cfg.CachePath)
 	}
 	s.pool = harness.NewPool(ctx, cfg.Workers)
+	if cfg.Speculate {
+		s.spec = newSpeculation(s)
+	}
 	s.registerMetrics()
 	return s, nil
 }
@@ -375,12 +420,38 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(s.sampledInstrs.Load()) })
 	ctr("sdo_profiled_instrs_total", "Functional instructions spent on BBV profiling passes.",
 		func() float64 { return float64(s.profiledInstrs.Load()) })
+	ctr("sdo_sample_plans_persisted_total", "Sampling plans written to the on-disk store.",
+		func() float64 { return float64(s.plansPersisted.Load()) })
+	ctr("sdo_sample_plan_disk_hits_total", "Plan-tier misses answered from the on-disk store (BBV re-profiling skipped across restarts).",
+		func() float64 { return float64(s.planDiskHits.Load()) })
 	s.runDur = r.NewHistogram("sdo_run_duration_seconds",
 		"Wall time of individual executed simulations.", obs.DefaultLatencyBuckets())
 	s.queueLat = r.NewHistogram("sdo_queue_latency_seconds",
 		"Submit-to-start latency of scheduled cells.", obs.DefaultLatencyBuckets())
 	s.planDur = r.NewHistogram("sdo_sample_plan_seconds",
 		"Wall time of sampling-plan builds (profile + cluster + checkpoints).", obs.DefaultLatencyBuckets())
+	if s.cfg.AutoTimeout {
+		gau("sdo_cell_timeout_seconds", "Current auto-tuned per-cell deadline (0: none yet).",
+			func() float64 { return s.cellTimeout().Seconds() })
+	}
+	if sp := s.spec; sp != nil {
+		ctr("sdo_spec_predictions_total", "Prediction candidates that contributed pre-executable cells.",
+			func() float64 { return float64(sp.predictions.Load()) })
+		ctr("sdo_spec_cells_preexecuted_total", "Speculative cells run to completion into the result cache.",
+			func() float64 { return float64(sp.cellsExecuted.Load()) })
+		ctr("sdo_spec_hits_total", "Demand cells served by speculative pre-execution.",
+			func() float64 { return float64(sp.hits.Load()) })
+		ctr("sdo_spec_cancellations_total", "Speculative cells squashed mid-run by demand arrival or shutdown.",
+			func() float64 { return float64(sp.cancellations.Load()) })
+		ctr("sdo_spec_cpu_seconds_total", "Wall time spent executing speculative cells.",
+			func() float64 { return float64(sp.specNanos.Load()) / 1e9 })
+		ctr("sdo_spec_wasted_cpu_seconds_total", "Speculative wall time wasted (cancelled, failed or expired unclaimed).",
+			func() float64 { return float64(sp.wastedNanos.Load()) / 1e9 })
+		gau("sdo_spec_throttle_state", "Speculation governor state: 0 ok, 1 throttled (low hit-rate), 2 exhausted (budget spent).",
+			func() float64 { return float64(sp.gov.State()) })
+		gau("sdo_spec_backlog", "Speculative cells queued or running.",
+			func() float64 { return float64(sp.backlog()) })
+	}
 	s.reg = r
 }
 
@@ -525,9 +596,6 @@ func (s *Service) resolve(req SweepRequest) (harness.Options, []RunSpec, error) 
 	if sm == harness.SimSampled {
 		if req.Ablations {
 			return opt, nil, errors.New(`simsvc: ablation studies run detailed simulation; use sim_mode "detailed"`)
-		}
-		if req.IntervalCycles != 0 {
-			return opt, nil, errors.New(`simsvc: interval statistics are a whole-window construct; sim_mode "sampled" does not support interval_cycles`)
 		}
 		opt.Sample = simpoint.Config{
 			IntervalInstrs: req.SampleIntervalInstrs,
@@ -696,6 +764,21 @@ func (s *Service) Submit(req SweepRequest) (*Job, error) {
 	s.mu.Unlock()
 	s.jobsTotal.Add(1)
 
+	if s.spec != nil {
+		// Demand preempts speculation: squash speculative cells this
+		// submission does not need (keeping ones it does — their demand
+		// cells will join the running flight as a hit), then teach the
+		// predictor the new transition.
+		keep := make(map[string]bool, len(cells))
+		for _, c := range cells {
+			if k, err := c.CacheKey(); err == nil {
+				keep[k] = true
+			}
+		}
+		s.spec.preempt(keep)
+		s.spec.observe(opt, req.Ablations)
+	}
+
 	enqueued := time.Now()
 	for i, c := range cells {
 		i, c := i, c
@@ -705,12 +788,17 @@ func (s *Service) Submit(req SweepRequest) (*Job, error) {
 }
 
 // jobFinished observes a job reaching a terminal state: the result cache
-// is persisted write-behind and the registry bound is enforced.
+// is persisted write-behind, the registry bound is enforced, and the
+// speculation engine is kicked — the pool is likely idle now, and the
+// just-finished job is fresh prediction context.
 func (s *Service) jobFinished(*Job) {
 	s.mu.Lock()
 	s.evictJobsLocked()
 	s.mu.Unlock()
 	s.schedulePersist()
+	if s.spec != nil {
+		s.spec.kick()
+	}
 }
 
 // evictJobsLocked enforces the registry bounds (caller holds s.mu):
@@ -798,11 +886,14 @@ func (s *Service) checkpoint(key string, wl workload.Workload, warmup uint64) *a
 	return f.ck
 }
 
-// samplePlan returns the sampling plan for key, building it on first use
-// (singleflight: concurrent sampled cells for the same workload block
-// until the one profile/cluster/capture pass finishes). A failed or
-// panicking build fails this cell and any blocked on the flight; the
-// flight is dropped so a later cell can retry.
+// samplePlan returns the sampling plan for key: from the in-memory
+// tier, else from the on-disk store (a restarted server skips the BBV
+// re-profiling pass), else built fresh — under singleflight, so
+// concurrent sampled cells for the same workload block until the one
+// load/build finishes. A freshly-built plan is persisted best-effort
+// next to the checkpoints for the next restart. A failed or panicking
+// build fails this cell and any blocked on the flight; the flight is
+// dropped so a later cell can retry.
 func (s *Service) samplePlan(key string, wl workload.Workload, spec RunSpec) (*harness.SamplePlan, error) {
 	s.planMu.Lock()
 	f, ok := s.plans[key]
@@ -811,6 +902,8 @@ func (s *Service) samplePlan(key string, wl workload.Workload, spec RunSpec) (*h
 		s.plans[key] = f
 		s.planMu.Unlock()
 		start := time.Now()
+		cfg := simpoint.Config{IntervalInstrs: spec.SampleInterval, MaxK: spec.SampleMaxK, Seed: spec.SampleSeed}
+		fromDisk := false
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -819,7 +912,10 @@ func (s *Service) samplePlan(key string, wl workload.Workload, spec RunSpec) (*h
 				}
 				close(f.done)
 			}()
-			cfg := simpoint.Config{IntervalInstrs: spec.SampleInterval, MaxK: spec.SampleMaxK, Seed: spec.SampleSeed}
+			if sp := s.ckstore.loadPlan(key, spec.WarmupInstrs, spec.MaxInstrs, cfg); sp != nil {
+				f.sp, fromDisk = sp, true
+				return
+			}
 			f.sp, f.err = harness.BuildSamplePlan(wl, spec.WarmupInstrs, spec.MaxInstrs, cfg)
 		}()
 		if f.err != nil {
@@ -828,6 +924,10 @@ func (s *Service) samplePlan(key string, wl workload.Workload, spec RunSpec) (*h
 			s.planMu.Unlock()
 			return nil, f.err
 		}
+		if fromDisk {
+			s.planDiskHits.Add(1)
+			return f.sp, nil
+		}
 		s.planDur.Observe(time.Since(start).Seconds())
 		s.plansBuilt.Add(1)
 		s.profiledInstrs.Add(f.sp.Plan.ProfiledInstrs)
@@ -835,6 +935,13 @@ func (s *Service) samplePlan(key string, wl workload.Workload, spec RunSpec) (*h
 		if n := len(f.sp.Checkpoints); n > 0 {
 			// One continuous capture pass warms to the last boundary.
 			s.warmupSimulated.Add(f.sp.Checkpoints[n-1].Arch.Instrs)
+		}
+		if s.ckstore.enabled() {
+			if err := s.ckstore.savePlan(key, spec.WarmupInstrs, spec.MaxInstrs, cfg, f.sp); err != nil {
+				s.event("plan-persist-failed", err.Error())
+			} else {
+				s.plansPersisted.Add(1)
+			}
 		}
 		if s.rec.On(obs.ClassSample) {
 			s.rec.Emit(obs.Event{Class: obs.ClassSample, Kind: "plan-built",
@@ -933,83 +1040,61 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 		return harness.FormatProgress(k, r) + note
 	}
 	if r, ok := s.cache.Get(key); ok {
-		j.deliver(idx, k, r, line(r, "  [cached]"), true, 0)
+		note := "  [cached]"
+		if s.spec != nil {
+			if cpu, spec := s.spec.track.Claim(key); spec {
+				// The entry was pre-executed speculatively and this is
+				// the demand request it was predicted for: credit the
+				// governor with the compute the hit just saved.
+				s.spec.hits.Add(1)
+				s.spec.gov.Hit(cpu)
+				note = "  [cached, speculated]"
+				s.spec.event("spec-hit", fmt.Sprintf("%s/%v/%v (saved %s)",
+					k.Workload, k.Variant, k.Model, cpu.Round(time.Millisecond)))
+			}
+		}
+		j.deliver(idx, k, r, line(r, note), true, 0)
 		return
 	}
 	s.mu.Lock()
 	if f, ok := s.inflight[key]; ok {
 		f.waiters = append(f.waiters, delivery{job: j, idx: idx, key: k})
+		claimedNow := f.spec && !f.claimed
+		if claimedNow {
+			// Joining a still-running speculative flight claims it: it
+			// now counts as a hit and is immune to preemption.
+			f.claimed = true
+		}
 		s.mu.Unlock()
 		s.runsDeduped.Add(1)
+		if claimedNow {
+			s.spec.hits.Add(1)
+			s.spec.event("spec-hit", fmt.Sprintf("%s/%v/%v (joined in flight)",
+				k.Workload, k.Variant, k.Model))
+		}
 		return
 	}
 	f := &flight{waiters: []delivery{{job: j, idx: idx, key: k}}}
 	s.inflight[key] = f
 	s.mu.Unlock()
 
-	wl, err := workload.ByName(spec.Workload)
-	var r core.Result
-	var retries int
-	if err == nil {
-		p := harness.RunParams{
-			WarmupInstrs:   spec.WarmupInstrs,
-			MaxInstrs:      spec.MaxInstrs,
-			IntervalCycles: spec.IntervalCycles,
-			WarmupMode:     spec.WarmupMode,
-		}
-		var sp *harness.SamplePlan
-		if spec.simMode() == harness.SimSampled {
-			// Sampled cells execute a shared per-workload sampling plan;
-			// warmup accounting happens once, at plan-build time.
-			var planKey string
-			if planKey, err = spec.PlanKey(); err == nil {
-				sp, err = s.samplePlan(planKey, wl, spec)
-			}
-		} else if spec.WarmupMode == core.WarmupFunctional && spec.WarmupInstrs > 0 {
-			var ckKey string
-			if ckKey, err = spec.CheckpointKey(); err == nil {
-				if p.Checkpoint = s.checkpoint(ckKey, wl, spec.WarmupInstrs); p.Checkpoint == nil {
-					// Capture failed: degrade to in-place functional
-					// warmup for this cell (bit-identical, just slower).
-					s.warmupSimulated.Add(spec.WarmupInstrs)
-				}
-			}
-		} else if spec.WarmupInstrs > 0 {
-			s.warmupSimulated.Add(spec.WarmupInstrs)
-		}
-		if err == nil {
-			pol := harness.RunPolicy{
-				MaxAttempts:  s.cfg.MaxAttempts,
-				RetryBackoff: s.cfg.RetryBackoff,
-				CellTimeout:  s.cfg.CellTimeout,
-				StallTimeout: s.cfg.StallTimeout,
-				Abort:        func() bool { return s.flightAbandoned(key) },
-				Notify:       s.cellEvent,
-			}
-			// The cell runs under a non-cancelling context: shutdown
-			// drains in-flight cells (complete-and-persist), and a
-			// cancelled job's cells abort via pol.Abort only once no
-			// other live job waits on them.
-			start := time.Now()
-			if sp != nil {
-				// Representative intervals run serially within the cell
-				// (workers=1): the service pool already parallelizes
-				// across cells, and each interval is its own fault-
-				// isolated RunCell attempt.
-				r, retries, err = harness.RunSampledCell(context.Background(), 1,
-					wl, spec.Variant, spec.Model, spec.Ablate, sp, p, pol, s.inj)
-				if err == nil {
-					s.sampledCells.Add(1)
-					s.sampledInstrs.Add(sp.Plan.SampledInstrs())
-				}
-			} else {
-				r, retries, err = harness.RunCell(context.Background(), wl, spec.Variant, spec.Model, spec.Ablate, p, pol, s.inj)
-			}
-			elapsed := time.Since(start)
-			s.runNanos.Add(uint64(elapsed))
-			s.runDur.Observe(elapsed.Seconds())
-			s.runsExecuted.Add(1)
-		}
+	pol := harness.RunPolicy{
+		MaxAttempts:  s.cfg.MaxAttempts,
+		RetryBackoff: s.cfg.RetryBackoff,
+		CellTimeout:  s.cellTimeout(),
+		StallTimeout: s.cfg.StallTimeout,
+		Abort:        func() bool { return s.flightAbandoned(key) },
+		Notify:       s.cellEvent,
+	}
+	// The cell runs under a non-cancelling context: shutdown drains
+	// in-flight cells (complete-and-persist), and a cancelled job's
+	// cells abort via pol.Abort only once no other live job waits on
+	// them.
+	r, retries, elapsed, err := s.execute(context.Background(), spec, pol)
+	if elapsed > 0 {
+		s.runNanos.Add(uint64(elapsed))
+		s.runDur.Observe(elapsed.Seconds())
+		s.runsExecuted.Add(1)
 	}
 	if err == nil {
 		s.cache.Put(key, r)
@@ -1027,21 +1112,7 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 			w.job.deliver(w.idx, w.key, r, line(r, ""), false, retries)
 		}
 	case errors.As(err, &ce):
-		// The cell failed permanently: degrade every waiting job rather
-		// than killing it.
-		s.cellsFailed.Add(1)
-		s.event("cell-failed", ce.Error())
-		fail := Failure{
-			Cell:     fmt.Sprintf("%s/%v/%v", k.Workload, k.Variant, k.Model),
-			Kind:     string(ce.Kind),
-			Attempts: ce.Attempts,
-			Error:    ce.Err.Error(),
-		}
-		failLine := fmt.Sprintf("%-14s %-11s %-10s FAILED: %s after %d attempt(s): %v",
-			k.Workload, k.Variant, k.Model, ce.Kind, ce.Attempts, ce.Err)
-		for _, w := range waiters {
-			w.job.cellFail(w.idx, w.key, fail, failLine, retries)
-		}
+		s.deliverFailure(waiters, k, ce, retries)
 	case errors.Is(err, harness.ErrCellAbandoned):
 		s.runsSkipped.Add(1)
 		for _, w := range waiters {
@@ -1054,6 +1125,122 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 			w.job.fail(fmt.Errorf("simsvc: %s/%v/%v: %w", spec.Workload, spec.Variant, spec.Model, err))
 		}
 	}
+}
+
+// execute runs one cell's simulation — workload lookup, the sample-plan
+// or checkpoint tier, then the harness call under pol — and returns the
+// result, retry count, and how long the harness call itself took
+// (0 when the tiers failed before any simulation ran). Both the demand
+// path (runCell) and the speculative path (speculation.runCell) execute
+// cells through here, so a speculative result is bit-identical to the
+// demand result for the same key.
+func (s *Service) execute(ctx context.Context, spec RunSpec, pol harness.RunPolicy) (core.Result, int, time.Duration, error) {
+	wl, err := workload.ByName(spec.Workload)
+	if err != nil {
+		return core.Result{}, 0, 0, err
+	}
+	p := harness.RunParams{
+		WarmupInstrs:   spec.WarmupInstrs,
+		MaxInstrs:      spec.MaxInstrs,
+		IntervalCycles: spec.IntervalCycles,
+		WarmupMode:     spec.WarmupMode,
+	}
+	var sp *harness.SamplePlan
+	if spec.simMode() == harness.SimSampled {
+		// Sampled cells execute a shared per-workload sampling plan;
+		// warmup accounting happens once, at plan-build time.
+		var planKey string
+		if planKey, err = spec.PlanKey(); err == nil {
+			sp, err = s.samplePlan(planKey, wl, spec)
+		}
+		if err != nil {
+			return core.Result{}, 0, 0, err
+		}
+	} else if spec.WarmupMode == core.WarmupFunctional && spec.WarmupInstrs > 0 {
+		var ckKey string
+		if ckKey, err = spec.CheckpointKey(); err != nil {
+			return core.Result{}, 0, 0, err
+		}
+		if p.Checkpoint = s.checkpoint(ckKey, wl, spec.WarmupInstrs); p.Checkpoint == nil {
+			// Capture failed: degrade to in-place functional warmup for
+			// this cell (bit-identical, just slower).
+			s.warmupSimulated.Add(spec.WarmupInstrs)
+		}
+	} else if spec.WarmupInstrs > 0 {
+		s.warmupSimulated.Add(spec.WarmupInstrs)
+	}
+	var r core.Result
+	var retries int
+	start := time.Now()
+	if sp != nil {
+		// Representative intervals run serially within the cell
+		// (workers=1): the service pool already parallelizes across
+		// cells, and each interval is its own fault-isolated RunCell
+		// attempt.
+		r, retries, err = harness.RunSampledCell(ctx, 1,
+			wl, spec.Variant, spec.Model, spec.Ablate, sp, p, pol, s.inj)
+		if err == nil {
+			s.sampledCells.Add(1)
+			s.sampledInstrs.Add(sp.Plan.SampledInstrs())
+		}
+	} else {
+		r, retries, err = harness.RunCell(ctx, wl, spec.Variant, spec.Model, spec.Ablate, p, pol, s.inj)
+	}
+	return r, retries, time.Since(start), err
+}
+
+// deliverFailure records one permanently-failed cell and degrades every
+// waiting job rather than killing it.
+func (s *Service) deliverFailure(waiters []delivery, k harness.Key, ce *harness.CellError, retries int) {
+	s.cellsFailed.Add(1)
+	s.event("cell-failed", ce.Error())
+	fail := Failure{
+		Cell:     fmt.Sprintf("%s/%v/%v", k.Workload, k.Variant, k.Model),
+		Kind:     string(ce.Kind),
+		Attempts: ce.Attempts,
+		Error:    ce.Err.Error(),
+	}
+	failLine := fmt.Sprintf("%-14s %-11s %-10s FAILED: %s after %d attempt(s): %v",
+		k.Workload, k.Variant, k.Model, ce.Kind, ce.Attempts, ce.Err)
+	for _, w := range waiters {
+		w.job.cellFail(w.idx, w.key, fail, failLine, retries)
+	}
+}
+
+// autoTimeoutFactor scales the observed p99 run duration into the
+// auto-tuned per-cell deadline.
+const autoTimeoutFactor = 3
+
+// autoTimeoutMinSamples is how many runs must have been observed before
+// auto-tuning trusts the histogram over the static configuration.
+const autoTimeoutMinSamples = 20
+
+// cellTimeout returns the per-cell deadline for the next attempt: the
+// static CellTimeout, or — with AutoTimeout enabled and enough history —
+// p99 of observed run durations × autoTimeoutFactor, clamped to
+// [1s, CellTimeout] (10m when no static ceiling is configured). The
+// derived deadline adapts to the deployment's real workload mix instead
+// of requiring one hand-tuned number to fit both microbenchmarks and
+// hour-long cells.
+func (s *Service) cellTimeout() time.Duration {
+	if !s.cfg.AutoTimeout {
+		return s.cfg.CellTimeout
+	}
+	if s.runDur.Count() < autoTimeoutMinSamples {
+		return s.cfg.CellTimeout
+	}
+	d := time.Duration(s.runDur.Quantile(0.99) * autoTimeoutFactor * float64(time.Second))
+	floor, ceil := time.Second, s.cfg.CellTimeout
+	if ceil <= 0 {
+		ceil = 10 * time.Minute
+	}
+	if d < floor {
+		d = floor
+	}
+	if d > ceil {
+		d = ceil
+	}
+	return d
 }
 
 // schedulePersist queues a debounced write-behind save of the result
@@ -1119,6 +1306,11 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	s.cancel() // queued cells skip; running cells finish
+	if s.spec != nil {
+		// Speculative work is squashable by definition: cancel it all
+		// and join the goroutines before draining demand cells.
+		s.spec.stop()
+	}
 	s.pool.Close()
 	done := make(chan struct{})
 	go func() {
@@ -1190,6 +1382,19 @@ type Metrics struct {
 	SampledCells          uint64
 	SampledDetailedInstrs uint64
 	ProfiledInstrs        uint64
+	SamplePlansPersisted  uint64
+	SamplePlanDiskHits    uint64
+
+	// Speculation counters (zero unless Config.Speculate).
+	SpecPredictions      uint64
+	SpecCellsExecuted    uint64
+	SpecHits             uint64
+	SpecCancellations    uint64
+	SpecCPUSeconds       float64
+	SpecWastedCPUSeconds float64
+	SpecThrottleState    string
+	SpecBacklog          int
+	SpecUnclaimed        int
 }
 
 // Snapshot gathers the current metrics.
@@ -1198,7 +1403,7 @@ func (s *Service) Snapshot() Metrics {
 	s.mu.Lock()
 	tracked := len(s.jobs)
 	s.mu.Unlock()
-	return Metrics{
+	m := Metrics{
 		CacheHits:         hits,
 		CacheMisses:       misses,
 		CacheEvictions:    s.cache.Evictions(),
@@ -1240,5 +1445,19 @@ func (s *Service) Snapshot() Metrics {
 		SampledCells:          s.sampledCells.Load(),
 		SampledDetailedInstrs: s.sampledInstrs.Load(),
 		ProfiledInstrs:        s.profiledInstrs.Load(),
+		SamplePlansPersisted:  s.plansPersisted.Load(),
+		SamplePlanDiskHits:    s.planDiskHits.Load(),
 	}
+	if sp := s.spec; sp != nil {
+		m.SpecPredictions = sp.predictions.Load()
+		m.SpecCellsExecuted = sp.cellsExecuted.Load()
+		m.SpecHits = sp.hits.Load()
+		m.SpecCancellations = sp.cancellations.Load()
+		m.SpecCPUSeconds = float64(sp.specNanos.Load()) / 1e9
+		m.SpecWastedCPUSeconds = float64(sp.wastedNanos.Load()) / 1e9
+		m.SpecThrottleState = sp.gov.State().String()
+		m.SpecBacklog = sp.backlog()
+		m.SpecUnclaimed = sp.track.Len()
+	}
+	return m
 }

@@ -1,0 +1,61 @@
+package simsvc
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestAutoTimeout exercises the per-cell deadline auto-tuner: static
+// until enough runs are observed, then p99 × autoTimeoutFactor clamped
+// to [1s, the configured CellTimeout].
+func TestAutoTimeout(t *testing.T) {
+	s := newService(t, Config{Workers: 1, AutoTimeout: true, CellTimeout: 45 * time.Second})
+	defer s.Shutdown(context.Background())
+
+	// Not enough history: the static configuration stands.
+	if got := s.cellTimeout(); got != 45*time.Second {
+		t.Fatalf("cold cellTimeout = %v, want the static 45s", got)
+	}
+
+	// Fast runs only: 0.1s p99 × 3 = 0.3s clamps up to the 1s floor.
+	for i := 0; i < 30; i++ {
+		s.runDur.Observe(0.1)
+	}
+	if got := s.cellTimeout(); got != time.Second {
+		t.Fatalf("fast-run cellTimeout = %v, want the 1s floor", got)
+	}
+
+	// A slow tail dominates the p99: 30s × 3 = 90s clamps down to the
+	// static 45s ceiling.
+	for i := 0; i < 30; i++ {
+		s.runDur.Observe(25)
+	}
+	if got := s.cellTimeout(); got != 45*time.Second {
+		t.Fatalf("slow-tail cellTimeout = %v, want the 45s ceiling", got)
+	}
+}
+
+func TestAutoTimeoutMidRange(t *testing.T) {
+	// No static ceiling: the derived deadline is used as-is (the p99
+	// bucket bound 2.5s × 3 = 7.5s sits inside [1s, 10m]).
+	s := newService(t, Config{Workers: 1, AutoTimeout: true})
+	defer s.Shutdown(context.Background())
+	for i := 0; i < 25; i++ {
+		s.runDur.Observe(2.4)
+	}
+	if got, want := s.cellTimeout(), 7500*time.Millisecond; got != want {
+		t.Fatalf("cellTimeout = %v, want %v", got, want)
+	}
+}
+
+func TestAutoTimeoutDisabled(t *testing.T) {
+	s := newService(t, Config{Workers: 1, CellTimeout: 45 * time.Second})
+	defer s.Shutdown(context.Background())
+	for i := 0; i < 100; i++ {
+		s.runDur.Observe(0.1)
+	}
+	if got := s.cellTimeout(); got != 45*time.Second {
+		t.Fatalf("cellTimeout = %v, want the static 45s (auto-tuning off)", got)
+	}
+}

@@ -1,0 +1,223 @@
+package specexec
+
+import (
+	"sync"
+	"time"
+)
+
+// State is the governor's throttle state, exported as a gauge: 0 while
+// speculation is productive, 1 while throttled by a low hit-rate, 2 once
+// the wasted-compute budget is exhausted (sticky).
+type State int
+
+const (
+	StateOK State = iota
+	StateThrottled
+	StateExhausted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateThrottled:
+		return "throttled"
+	case StateExhausted:
+		return "exhausted"
+	default:
+		return "ok"
+	}
+}
+
+// GovernorConfig tunes the speculation budget governor.
+type GovernorConfig struct {
+	// BudgetCPU bounds cumulative wasted compute: once expired, stale or
+	// cancelled speculative work exceeds it, speculation is disabled for
+	// the life of the process (0: default 5m).
+	BudgetCPU time.Duration
+	// MinHitRate throttles speculation while the observed hit-rate over
+	// resolved speculations sits below it (0: default 0.25). Throttling
+	// is recoverable: demand hits on already pre-executed entries raise
+	// the rate back over the bar.
+	MinHitRate float64
+	// MinSamples delays hit-rate throttling until at least this many
+	// speculations have resolved (0: default 8), so a cold start is not
+	// punished for an empty numerator.
+	MinSamples int
+}
+
+func (c GovernorConfig) withDefaults() GovernorConfig {
+	if c.BudgetCPU <= 0 {
+		c.BudgetCPU = 5 * time.Minute
+	}
+	if c.MinHitRate <= 0 {
+		c.MinHitRate = 0.25
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	return c
+}
+
+// Governor accounts speculative compute as useful (a demand request
+// claimed the pre-executed result) or wasted (cancelled, failed, or
+// expired unclaimed) and throttles or disables speculation when the
+// overhead stops paying for itself — the service-level analogue of
+// snippet-style cancellation thresholds.
+type Governor struct {
+	cfg GovernorConfig
+
+	mu        sync.Mutex
+	hits      uint64
+	misses    uint64
+	useful    time.Duration
+	wasted    time.Duration
+	exhausted bool
+}
+
+// NewGovernor builds a governor.
+func NewGovernor(cfg GovernorConfig) *Governor {
+	return &Governor{cfg: cfg.withDefaults()}
+}
+
+// Hit credits one useful speculation worth cpu of compute.
+func (g *Governor) Hit(cpu time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.hits++
+	g.useful += cpu
+}
+
+// Waste debits one wasted speculation worth cpu of compute (cancelled
+// mid-run, failed, or expired unclaimed).
+func (g *Governor) Waste(cpu time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.misses++
+	g.wasted += cpu
+	if g.wasted > g.cfg.BudgetCPU {
+		g.exhausted = true
+	}
+}
+
+// Allow reports whether new speculative work may start.
+func (g *Governor) Allow() bool {
+	return g.State() == StateOK
+}
+
+// State reports the current throttle state.
+func (g *Governor) State() State {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stateLocked()
+}
+
+func (g *Governor) stateLocked() State {
+	if g.exhausted {
+		return StateExhausted
+	}
+	resolved := g.hits + g.misses
+	if resolved >= uint64(g.cfg.MinSamples) &&
+		float64(g.hits)/float64(resolved) < g.cfg.MinHitRate {
+		return StateThrottled
+	}
+	return StateOK
+}
+
+// GovernorStats describes the governor for the /spec endpoint.
+type GovernorStats struct {
+	State            string  `json:"state"`
+	Hits             uint64  `json:"hits"`
+	Misses           uint64  `json:"misses"`
+	HitRate          float64 `json:"hit_rate"`
+	UsefulCPUSeconds float64 `json:"useful_cpu_seconds"`
+	WastedCPUSeconds float64 `json:"wasted_cpu_seconds"`
+	BudgetCPUSeconds float64 `json:"budget_cpu_seconds"`
+}
+
+// Snapshot reports the governor's accounting.
+func (g *Governor) Snapshot() GovernorStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := GovernorStats{
+		State:            g.stateLocked().String(),
+		Hits:             g.hits,
+		Misses:           g.misses,
+		UsefulCPUSeconds: g.useful.Seconds(),
+		WastedCPUSeconds: g.wasted.Seconds(),
+		BudgetCPUSeconds: g.cfg.BudgetCPU.Seconds(),
+	}
+	if resolved := g.hits + g.misses; resolved > 0 {
+		st.HitRate = float64(g.hits) / float64(resolved)
+	}
+	return st
+}
+
+// Tracker remembers which cache entries were produced speculatively and
+// what they cost, so a later demand lookup can be credited as a
+// speculation hit — and entries nothing ever claims can be expired as
+// waste. Rounds advance on each new prediction round; an entry unclaimed
+// for StaleRounds rounds expires.
+type Tracker struct {
+	mu      sync.Mutex
+	stale   uint64
+	round   uint64
+	entries map[string]trackedEntry
+}
+
+type trackedEntry struct {
+	cpu   time.Duration
+	round uint64
+}
+
+// NewTracker builds a tracker that expires entries unclaimed after
+// staleRounds prediction rounds (<=0: default 4).
+func NewTracker(staleRounds int) *Tracker {
+	if staleRounds <= 0 {
+		staleRounds = 4
+	}
+	return &Tracker{stale: uint64(staleRounds), entries: make(map[string]trackedEntry)}
+}
+
+// Add records a speculatively-produced cache entry and its compute cost.
+func (t *Tracker) Add(key string, cpu time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries[key] = trackedEntry{cpu: cpu, round: t.round}
+}
+
+// Claim consumes a tracked entry, returning its compute cost. The second
+// result is false when the key was not speculatively produced (or was
+// already claimed or expired).
+func (t *Tracker) Claim(key string) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[key]
+	if !ok {
+		return 0, false
+	}
+	delete(t.entries, key)
+	return e.cpu, true
+}
+
+// Advance starts a new prediction round and expires entries unclaimed
+// for the configured number of rounds, returning how many expired and
+// their total compute cost (the caller accounts it as waste).
+func (t *Tracker) Advance() (expired int, cpu time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.round++
+	for k, e := range t.entries {
+		if t.round-e.round > t.stale {
+			delete(t.entries, k)
+			expired++
+			cpu += e.cpu
+		}
+	}
+	return expired, cpu
+}
+
+// Len reports how many unclaimed speculative entries are tracked.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}

@@ -1,0 +1,108 @@
+package specexec
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGovernorBudgetExhaustion(t *testing.T) {
+	g := NewGovernor(GovernorConfig{BudgetCPU: 100 * time.Millisecond})
+	if !g.Allow() {
+		t.Fatal("fresh governor should allow")
+	}
+	g.Waste(60 * time.Millisecond)
+	if !g.Allow() {
+		t.Fatal("under budget should still allow")
+	}
+	g.Waste(60 * time.Millisecond)
+	if g.State() != StateExhausted {
+		t.Fatalf("state %v, want exhausted past the budget", g.State())
+	}
+	if g.Allow() {
+		t.Fatal("exhausted governor should not allow")
+	}
+	// Exhaustion is sticky: later hits do not resurrect speculation.
+	for i := 0; i < 100; i++ {
+		g.Hit(time.Millisecond)
+	}
+	if g.State() != StateExhausted {
+		t.Fatal("exhaustion should be sticky")
+	}
+}
+
+func TestGovernorHitRateThrottle(t *testing.T) {
+	g := NewGovernor(GovernorConfig{MinHitRate: 0.5, MinSamples: 4})
+	// Below MinSamples: never throttled, whatever the rate.
+	g.Waste(time.Millisecond)
+	g.Waste(time.Millisecond)
+	if g.State() != StateOK {
+		t.Fatalf("state %v with only 2 samples, want ok", g.State())
+	}
+	g.Waste(time.Millisecond)
+	g.Waste(time.Millisecond)
+	if g.State() != StateThrottled {
+		t.Fatalf("state %v at 0/4 hit-rate, want throttled", g.State())
+	}
+	if g.Allow() {
+		t.Fatal("throttled governor should not allow")
+	}
+	// Recoverable: demand hits on already pre-executed entries raise the
+	// rate back over the bar.
+	for i := 0; i < 4; i++ {
+		g.Hit(time.Millisecond)
+	}
+	if g.State() != StateOK {
+		t.Fatalf("state %v at 4/8 hit-rate, want ok again", g.State())
+	}
+}
+
+func TestGovernorSnapshot(t *testing.T) {
+	g := NewGovernor(GovernorConfig{BudgetCPU: time.Second})
+	g.Hit(200 * time.Millisecond)
+	g.Waste(100 * time.Millisecond)
+	st := g.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits/misses %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+	if st.HitRate != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", st.HitRate)
+	}
+	if st.UsefulCPUSeconds != 0.2 || st.WastedCPUSeconds != 0.1 {
+		t.Fatalf("cpu accounting %v/%v, want 0.2/0.1", st.UsefulCPUSeconds, st.WastedCPUSeconds)
+	}
+	if st.State != "ok" {
+		t.Fatalf("state %q, want ok", st.State)
+	}
+}
+
+func TestTrackerClaimAndExpiry(t *testing.T) {
+	tr := NewTracker(2)
+	tr.Add("k1", 10*time.Millisecond)
+	tr.Add("k2", 20*time.Millisecond)
+	if tr.Len() != 2 {
+		t.Fatalf("len %d, want 2", tr.Len())
+	}
+	cpu, ok := tr.Claim("k1")
+	if !ok || cpu != 10*time.Millisecond {
+		t.Fatalf("claim k1 = %v,%v", cpu, ok)
+	}
+	if _, ok := tr.Claim("k1"); ok {
+		t.Fatal("double claim succeeded")
+	}
+	if _, ok := tr.Claim("absent"); ok {
+		t.Fatal("claimed an untracked key")
+	}
+	// k2 survives 2 rounds, expires on the 3rd.
+	for i := 0; i < 2; i++ {
+		if n, _ := tr.Advance(); n != 0 {
+			t.Fatalf("round %d expired %d entries early", i, n)
+		}
+	}
+	n, cpu := tr.Advance()
+	if n != 1 || cpu != 20*time.Millisecond {
+		t.Fatalf("expiry = %d entries, %v cpu; want 1, 20ms", n, cpu)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len %d after expiry, want 0", tr.Len())
+	}
+}

@@ -1,0 +1,351 @@
+package specexec
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PredictorConfig tunes the history predictor.
+type PredictorConfig struct {
+	// JournalPath persists the submission history as JSONL ("" disables
+	// persistence; the in-memory predictor still works).
+	JournalPath string
+	// MaxHistory bounds the transition history (0: default 512). The
+	// journal is compacted to the bound once it grows well past it.
+	MaxHistory int
+	// MinConfidence drops candidates scored below it (0: default 0.2).
+	MinConfidence float64
+}
+
+func (c PredictorConfig) withDefaults() PredictorConfig {
+	if c.MaxHistory <= 0 {
+		c.MaxHistory = 512
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = 0.2
+	}
+	return c
+}
+
+// markovSep joins two signatures into an order-2 context key.
+const markovSep = "\x1f"
+
+// compactFactor triggers journal compaction once the file holds this
+// many times MaxHistory entries.
+const compactFactor = 4
+
+// Predictor learns which sweep requests tend to follow which. It keeps
+// order-1 and order-2 Markov transition tables over canonical request
+// signatures, plus enough request structure to apply grid-completion
+// heuristics to the most recent submission.
+type Predictor struct {
+	cfg PredictorConfig
+
+	mu    sync.Mutex
+	hist  []string                   // signatures, oldest first, bounded
+	raw   map[string]json.RawMessage // sig -> latest request document
+	t1    map[string]map[string]int  // order-1: prev -> next -> count
+	t2    map[string]map[string]int  // order-2: prev2+prev1 -> next -> count
+	seen  map[string]bool            // workload names ever submitted
+	novel bool                       // latest submission introduced a new workload
+
+	journalLen  int // entries in the journal file (for compaction)
+	journalErrs int // write failures (journal degrades to memory-only)
+}
+
+// NewPredictor builds a predictor and, when a journal path is set,
+// replays the persisted history. An unreadable journal never prevents
+// startup: the predictor starts cold and overwrites on the next append.
+func NewPredictor(cfg PredictorConfig) *Predictor {
+	p := &Predictor{
+		cfg:  cfg.withDefaults(),
+		raw:  make(map[string]json.RawMessage),
+		t1:   make(map[string]map[string]int),
+		t2:   make(map[string]map[string]int),
+		seen: make(map[string]bool),
+	}
+	p.load()
+	return p
+}
+
+// requestDoc mirrors the request fields the heuristics inspect (tags
+// match simsvc.SweepRequest).
+type requestDoc struct {
+	Workloads []string `json:"workloads"`
+	Variants  []string `json:"variants"`
+	SimMode   string   `json:"sim_mode"`
+	Ablations bool     `json:"ablations"`
+}
+
+// load replays the journal (best-effort: malformed lines are skipped).
+func (p *Predictor) load() {
+	if p.cfg.JournalPath == "" {
+		return
+	}
+	f, err := os.Open(p.cfg.JournalPath)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var sub Submission
+		if err := json.Unmarshal([]byte(line), &sub); err != nil || sub.Sig == "" {
+			continue
+		}
+		p.observeLocked(sub)
+		p.journalLen++
+	}
+}
+
+// Observe records one live submission: the transition tables and
+// heuristic state are updated and the entry is appended to the journal.
+func (p *Predictor) Observe(sub Submission) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.observeLocked(sub)
+	p.appendLocked(sub)
+}
+
+// observeLocked updates in-memory state only (shared by Observe and
+// journal replay). Caller holds p.mu (or has exclusive access in load).
+func (p *Predictor) observeLocked(sub Submission) {
+	var doc requestDoc
+	json.Unmarshal(sub.Raw, &doc)
+	p.novel = false
+	for _, w := range doc.Workloads {
+		if !p.seen[w] {
+			p.seen[w] = true
+			p.novel = true
+		}
+	}
+	p.raw[sub.Sig] = sub.Raw
+	if n := len(p.hist); n >= 1 {
+		prev := p.hist[n-1]
+		bump(p.t1, prev, sub.Sig)
+		if n >= 2 {
+			bump(p.t2, p.hist[n-2]+markovSep+prev, sub.Sig)
+		}
+	}
+	p.hist = append(p.hist, sub.Sig)
+	if len(p.hist) > p.cfg.MaxHistory {
+		p.hist = p.hist[len(p.hist)-p.cfg.MaxHistory:]
+	}
+}
+
+func bump(t map[string]map[string]int, ctx, next string) {
+	m := t[ctx]
+	if m == nil {
+		m = make(map[string]int)
+		t[ctx] = m
+	}
+	m[next]++
+}
+
+// appendLocked writes one journal line; after a few failures the journal
+// degrades to memory-only rather than hammering a dead disk.
+func (p *Predictor) appendLocked(sub Submission) {
+	if p.cfg.JournalPath == "" || p.journalErrs >= 3 {
+		return
+	}
+	if p.journalLen >= compactFactor*p.cfg.MaxHistory {
+		p.compactLocked()
+	}
+	line, err := json.Marshal(sub)
+	if err != nil {
+		return
+	}
+	f, err := os.OpenFile(p.cfg.JournalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		p.journalErrs++
+		return
+	}
+	_, werr := fmt.Fprintf(f, "%s\n", line)
+	if cerr := f.Close(); werr != nil || cerr != nil {
+		p.journalErrs++
+		return
+	}
+	p.journalErrs = 0
+	p.journalLen++
+}
+
+// compactLocked rewrites the journal with just the bounded history
+// (atomic temp+rename, like the cache and checkpoint stores).
+func (p *Predictor) compactLocked() {
+	tmp := p.cfg.JournalPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	w := bufio.NewWriter(f)
+	ok := true
+	for _, sig := range p.hist {
+		line, err := json.Marshal(Submission{Sig: sig, Raw: p.raw[sig]})
+		if err != nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+			ok = false
+			break
+		}
+	}
+	if err := w.Flush(); err != nil {
+		ok = false
+	}
+	if err := f.Close(); err != nil {
+		ok = false
+	}
+	if !ok {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, p.cfg.JournalPath); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	p.journalLen = len(p.hist)
+}
+
+// Predict scores likely follow-ups to the latest submission: order-2
+// transitions first (full weight), order-1 (damped), then the grid
+// heuristics; per signature the highest-confidence rule wins. The latest
+// submission itself is never a candidate (its cells are already demand
+// work), and candidates below MinConfidence are dropped. The result is
+// sorted by confidence (ties by signature) for deterministic scheduling.
+func (p *Predictor) Predict() []Candidate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.hist)
+	if n == 0 {
+		return nil
+	}
+	last := p.hist[n-1]
+	cands := make(map[string]Candidate)
+	add := func(sig string, raw json.RawMessage, conf float64, reason string) {
+		if sig == last || raw == nil || conf < p.cfg.MinConfidence {
+			return
+		}
+		if c, ok := cands[sig]; ok && c.Confidence >= conf {
+			return
+		}
+		cands[sig] = Candidate{Sig: sig, Raw: raw, Confidence: conf, Reason: reason}
+	}
+	if n >= 2 {
+		if m := p.t2[p.hist[n-2]+markovSep+last]; len(m) > 0 {
+			total := 0
+			for _, c := range m {
+				total += c
+			}
+			for sig, c := range m {
+				add(sig, p.raw[sig], float64(c)/float64(total), "markov2")
+			}
+		}
+	}
+	if m := p.t1[last]; len(m) > 0 {
+		total := 0
+		for _, c := range m {
+			total += c
+		}
+		for sig, c := range m {
+			add(sig, p.raw[sig], 0.8*float64(c)/float64(total), "markov1")
+		}
+	}
+	for _, h := range p.heuristics(p.raw[last]) {
+		add(h.Sig, h.Raw, h.Confidence, h.Reason)
+	}
+	out := make([]Candidate, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Sig < out[j].Sig
+	})
+	return out
+}
+
+// heuristics derives structural follow-ups from the latest request:
+//   - a sampled survey is usually confirmed with a detailed run of the
+//     same grid;
+//   - a new workload probed on a variant subset usually gets the full
+//     variant grid next;
+//   - an ablation study is usually followed by a plain re-sweep of the
+//     touched configuration.
+//
+// Caller holds p.mu.
+func (p *Predictor) heuristics(raw json.RawMessage) []Candidate {
+	if raw == nil {
+		return nil
+	}
+	var doc requestDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil
+	}
+	var out []Candidate
+	if doc.SimMode == "sampled" {
+		if c, ok := mutate(raw, 0.5, "sampled-confirmation",
+			"sim_mode", "sample_interval_instrs", "sample_max_k", "sample_seed"); ok {
+			out = append(out, c)
+		}
+	}
+	if p.novel && len(doc.Variants) > 0 {
+		if c, ok := mutate(raw, 0.4, "grid-completion", "variants"); ok {
+			out = append(out, c)
+		}
+	}
+	if doc.Ablations {
+		if c, ok := mutate(raw, 0.4, "ablation-resweep", "ablations"); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// mutate produces a candidate from raw with the named keys removed
+// (re-encoded canonically: map marshalling sorts keys).
+func mutate(raw json.RawMessage, conf float64, reason string, drop ...string) (Candidate, bool) {
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return Candidate{}, false
+	}
+	for _, k := range drop {
+		delete(doc, k)
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return Candidate{}, false
+	}
+	return Candidate{Sig: Signature(b), Raw: b, Confidence: conf, Reason: reason}, true
+}
+
+// Stats describes the predictor for the /spec endpoint.
+type Stats struct {
+	History       int `json:"history"`
+	Order1Entries int `json:"order1_contexts"`
+	Order2Entries int `json:"order2_contexts"`
+	Workloads     int `json:"workloads_seen"`
+}
+
+// Snapshot reports the predictor's state.
+func (p *Predictor) Snapshot() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		History:       len(p.hist),
+		Order1Entries: len(p.t1),
+		Order2Entries: len(p.t2),
+		Workloads:     len(p.seen),
+	}
+}

@@ -1,0 +1,232 @@
+package specexec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sub(t *testing.T, doc string) Submission {
+	t.Helper()
+	raw := json.RawMessage(doc)
+	return Submission{Sig: Signature(raw), Raw: raw}
+}
+
+func TestSignatureCanonical(t *testing.T) {
+	a := Signature(json.RawMessage(`{"b":1,"a":"x"}`))
+	b := Signature(json.RawMessage(`{"a":"x", "b": 1}`))
+	if a != b {
+		t.Fatalf("signature not canonical: %q vs %q", a, b)
+	}
+	c := Signature(json.RawMessage(`{"a":"x","b":2}`))
+	if a == c {
+		t.Fatalf("distinct documents share signature %q", a)
+	}
+}
+
+func TestPredictMarkovOrder1(t *testing.T) {
+	p := NewPredictor(PredictorConfig{})
+	a := sub(t, `{"workloads":["mcf_r"],"max_instrs":1000}`)
+	b := sub(t, `{"workloads":["mcf_r"],"max_instrs":2000}`)
+	// Teach A -> B twice, then land on A again.
+	for i := 0; i < 2; i++ {
+		p.Observe(a)
+		p.Observe(b)
+	}
+	p.Observe(a)
+	cands := p.Predict()
+	if len(cands) == 0 {
+		t.Fatal("no candidates after A->B history")
+	}
+	if cands[0].Sig != b.Sig {
+		t.Fatalf("top candidate %q (%s), want B %q", cands[0].Sig, cands[0].Reason, b.Sig)
+	}
+	if cands[0].Confidence <= 0 || cands[0].Confidence > 1 {
+		t.Fatalf("confidence %v out of range", cands[0].Confidence)
+	}
+}
+
+func TestPredictMarkovOrder2Disambiguates(t *testing.T) {
+	p := NewPredictor(PredictorConfig{})
+	a := sub(t, `{"max_instrs":1}`)
+	b := sub(t, `{"max_instrs":2}`)
+	c := sub(t, `{"max_instrs":3}`)
+	d := sub(t, `{"max_instrs":4}`)
+	// A,B -> C (twice); D,B -> D (twice). After [A,B] the order-2 table
+	// should put C strictly above D even though order-1 B->{C,D} ties.
+	for i := 0; i < 2; i++ {
+		p.Observe(a)
+		p.Observe(b)
+		p.Observe(c)
+		p.Observe(d)
+		p.Observe(b)
+		p.Observe(d)
+	}
+	p.Observe(a)
+	p.Observe(b)
+	cands := p.Predict()
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if cands[0].Sig != c.Sig {
+		t.Fatalf("top candidate %q (%s), want order-2 winner C %q", cands[0].Sig, cands[0].Reason, c.Sig)
+	}
+	if cands[0].Reason != "markov2" {
+		t.Fatalf("top reason %q, want markov2", cands[0].Reason)
+	}
+}
+
+func TestPredictNeverRepeatsLast(t *testing.T) {
+	p := NewPredictor(PredictorConfig{})
+	a := sub(t, `{"max_instrs":1}`)
+	for i := 0; i < 3; i++ {
+		p.Observe(a) // A -> A self-transitions only
+	}
+	for _, c := range p.Predict() {
+		if c.Sig == a.Sig {
+			t.Fatalf("predicted the submission that just arrived (%s)", c.Reason)
+		}
+	}
+}
+
+func TestHeuristicSampledConfirmation(t *testing.T) {
+	p := NewPredictor(PredictorConfig{})
+	s := sub(t, `{"workloads":["mcf_r"],"max_instrs":20000,"sim_mode":"sampled","sample_max_k":4}`)
+	p.Observe(s)
+	cands := p.Predict()
+	var hit *Candidate
+	for i := range cands {
+		if cands[i].Reason == "sampled-confirmation" {
+			hit = &cands[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no sampled-confirmation candidate in %+v", cands)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(hit.Raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["sim_mode"]; ok {
+		t.Fatal("confirmation candidate still sampled")
+	}
+	if _, ok := doc["sample_max_k"]; ok {
+		t.Fatal("confirmation candidate kept sampling params")
+	}
+	if doc["max_instrs"] != float64(20000) {
+		t.Fatalf("confirmation candidate lost the grid: %v", doc)
+	}
+}
+
+func TestHeuristicGridCompletion(t *testing.T) {
+	p := NewPredictor(PredictorConfig{})
+	// A brand-new workload probed on a variant subset.
+	s := sub(t, `{"workloads":["xz_r"],"variants":["Unsafe","SDO-Hybrid"],"max_instrs":1000}`)
+	p.Observe(s)
+	var hit *Candidate
+	for _, c := range p.Predict() {
+		if c.Reason == "grid-completion" {
+			hit = &c
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatal("no grid-completion candidate for a new workload probe")
+	}
+	var doc map[string]any
+	json.Unmarshal(hit.Raw, &doc)
+	if _, ok := doc["variants"]; ok {
+		t.Fatal("grid-completion candidate still restricted to a variant subset")
+	}
+
+	// The same request again: the workload is known now, no novelty.
+	p.Observe(s)
+	for _, c := range p.Predict() {
+		if c.Reason == "grid-completion" {
+			t.Fatal("grid-completion predicted for an already-seen workload")
+		}
+	}
+}
+
+func TestHeuristicAblationResweep(t *testing.T) {
+	p := NewPredictor(PredictorConfig{})
+	p.Observe(sub(t, `{"workloads":["mcf_r"],"ablations":true,"max_instrs":1000}`))
+	var hit *Candidate
+	for _, c := range p.Predict() {
+		if c.Reason == "ablation-resweep" {
+			hit = &c
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatal("no ablation-resweep candidate")
+	}
+	var doc map[string]any
+	json.Unmarshal(hit.Raw, &doc)
+	if _, ok := doc["ablations"]; ok {
+		t.Fatal("resweep candidate still an ablation study")
+	}
+}
+
+func TestJournalPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "history.jsonl")
+	a := sub(t, `{"max_instrs":1}`)
+	b := sub(t, `{"max_instrs":2}`)
+
+	p := NewPredictor(PredictorConfig{JournalPath: path})
+	p.Observe(a)
+	p.Observe(b)
+	p.Observe(a)
+
+	// A fresh predictor over the same journal predicts B after A.
+	q := NewPredictor(PredictorConfig{JournalPath: path})
+	if st := q.Snapshot(); st.History != 3 {
+		t.Fatalf("replayed history %d, want 3", st.History)
+	}
+	cands := q.Predict()
+	if len(cands) == 0 || cands[0].Sig != b.Sig {
+		t.Fatalf("restarted predictor candidates %+v, want B first", cands)
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "history.jsonl")
+	p := NewPredictor(PredictorConfig{JournalPath: path, MaxHistory: 4})
+	for i := 0; i < 40; i++ {
+		p.Observe(sub(t, `{"max_instrs":1}`))
+		p.Observe(sub(t, `{"max_instrs":2}`))
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 80 entries at ~60 bytes each would be ~5KB without compaction; the
+	// compacted journal holds at most compactFactor*MaxHistory entries.
+	if fi.Size() > 4*4*128 {
+		t.Fatalf("journal grew unbounded: %d bytes", fi.Size())
+	}
+	q := NewPredictor(PredictorConfig{JournalPath: path, MaxHistory: 4})
+	if st := q.Snapshot(); st.History == 0 || st.History > 4 {
+		t.Fatalf("replayed history %d, want 1..4", st.History)
+	}
+}
+
+func TestMinConfidenceFilters(t *testing.T) {
+	p := NewPredictor(PredictorConfig{MinConfidence: 0.9})
+	a := sub(t, `{"max_instrs":1}`)
+	// A followed by ten different successors: each order-1 edge ~0.1.
+	p.Observe(a)
+	for i := 0; i < 10; i++ {
+		p.Observe(sub(t, fmt.Sprintf(`{"max_instrs":%d}`, 100+i)))
+		p.Observe(a)
+	}
+	for _, c := range p.Predict() {
+		if c.Confidence < 0.9 {
+			t.Fatalf("candidate below MinConfidence: %+v", c)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package specexec is a safe-prediction layer above the simulator: it
+// applies the paper's thesis — speculation is free when mispredictions
+// cannot leave observable side effects — to the sweep service itself.
+//
+// The service's unit of speculation is a whole simulation cell. The
+// predictor learns from the submission history which sweeps tend to
+// follow which (a sampled survey is usually confirmed by a detailed run;
+// a new workload probed on a variant subset usually gets the full grid
+// next; an ablation study is usually followed by a re-sweep of the
+// touched cells) and emits confidence-scored candidate requests. The
+// service pre-executes their cells on *idle* worker capacity into the
+// content-addressed result cache, so the real request — if it arrives —
+// is a pure cache hit.
+//
+// Squashing is sound by construction: a cancelled or wrong pre-execution
+// leaves nothing behind except (possibly) cache entries, and cache
+// entries are sound regardless of why they were produced, because the
+// simulator is deterministic (see the simsvc package comment). The only
+// cost of a misprediction is wasted CPU, which the Governor bounds.
+package specexec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Submission is one observed sweep request: its canonical signature plus
+// the normalized request document it was derived from. The document must
+// round-trip through the service's request decoder, because predicted
+// candidates are re-submitted through the same resolution path.
+type Submission struct {
+	Sig string          `json:"sig"`
+	Raw json.RawMessage `json:"req"`
+}
+
+// Candidate is one predicted follow-up request. Reason is the rule that
+// produced it: "markov2" / "markov1" (history transitions) or one of the
+// grid heuristics ("sampled-confirmation", "grid-completion",
+// "ablation-resweep").
+type Candidate struct {
+	Sig        string          `json:"sig"`
+	Raw        json.RawMessage `json:"req"`
+	Confidence float64         `json:"confidence"`
+	Reason     string          `json:"reason"`
+}
+
+// Signature derives the canonical signature of a request document:
+// a short SHA-256 over the JSON with object keys sorted, so two encodings
+// of the same request (struct-ordered vs map-ordered) sign identically.
+// Non-JSON input is hashed as-is rather than rejected — the signature
+// only needs to be stable, not meaningful.
+func Signature(raw json.RawMessage) string {
+	b := canonical(raw)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// canonical re-encodes a JSON document with sorted object keys
+// (encoding/json sorts map keys); undecodable input is returned as-is.
+func canonical(raw json.RawMessage) []byte {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return raw
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return raw
+	}
+	return b
+}
