@@ -1,0 +1,184 @@
+// Command benchrecord runs the repository's benchmarks and appends the
+// results to a dated trajectory file, building a performance history
+// alongside the code:
+//
+//	benchrecord                             # all benchmarks -> BENCH_<YYYYMMDD>.json
+//	benchrecord -bench 'OblLoad|Hybrid'     # subset
+//	benchrecord -benchtime 100ms -count 3   # forwarded to go test
+//
+// Each invocation appends one record {date, git_sha, go_version,
+// benchmarks[]} to BENCH_<YYYYMMDD>.json in the current directory (a
+// JSON array; same-day runs accumulate). Records keep ns/op, B/op,
+// allocs/op and any b.ReportMetric custom series (sim-instrs/s, ...),
+// so a later plot over the dated files shows the trajectory of every
+// metric against commits.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Record is one benchrecord invocation.
+type Record struct {
+	Date       string      `json:"date"`
+	GitSHA     string      `json:"git_sha"`
+	GoVersion  string      `json:"go_version"`
+	Bench      string      `json:"bench"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchrecord", flag.ContinueOnError)
+	var (
+		bench     = fs.String("bench", ".", "benchmark regexp, forwarded to go test -bench")
+		benchtime = fs.String("benchtime", "", "forwarded to go test -benchtime (empty: go default)")
+		count     = fs.Int("count", 1, "forwarded to go test -count")
+		pkg       = fs.String("pkg", ".", "package to benchmark")
+		dir       = fs.String("dir", ".", "directory the BENCH_<date>.json file is written to")
+		dry       = fs.Bool("n", false, "print the record instead of appending it")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	gotest := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		gotest = append(gotest, "-benchtime", *benchtime)
+	}
+	gotest = append(gotest, *pkg)
+	fmt.Fprintln(os.Stderr, "benchrecord: go", strings.Join(gotest, " "))
+	cmd := exec.Command("go", gotest...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: go test: %v\n%s", err, out)
+		return 1
+	}
+
+	benches := parseBench(out)
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchrecord: no benchmark lines in go test output")
+		return 1
+	}
+	now := time.Now().UTC()
+	rec := Record{
+		Date:       now.Format(time.RFC3339),
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		Bench:      *bench,
+		Benchmarks: benches,
+	}
+	if *dry {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rec)
+		return 0
+	}
+	path := fmt.Sprintf("%s/BENCH_%s.json", *dir, now.Format("20060102"))
+	if err := appendRecord(path, rec); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchrecord: %d benchmarks appended to %s\n", len(benches), path)
+	return 0
+}
+
+// parseBench extracts result lines of the form
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op   8.9 custom/s
+//
+// from go test output. Units beyond the standard three land in Metrics.
+func parseBench(out []byte) []Benchmark {
+	var benches []Benchmark
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: strings.TrimSuffix(f[0], "-"+strconv.Itoa(runtime.GOMAXPROCS(0))), Iters: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[f[i+1]] = v
+			}
+		}
+		benches = append(benches, b)
+	}
+	return benches
+}
+
+// gitSHA returns the current commit (with a -dirty suffix when the tree
+// has modifications), or "unknown" outside a git checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	sha := strings.TrimSpace(string(out))
+	if err := exec.Command("git", "diff", "--quiet", "HEAD").Run(); err != nil {
+		sha += "-dirty"
+	}
+	return sha
+}
+
+// appendRecord appends rec to the JSON array at path, creating it on
+// first use.
+func appendRecord(path string, rec Record) error {
+	var recs []Record
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &recs); err != nil {
+			return fmt.Errorf("%s exists but is not a benchrecord file: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	recs = append(recs, rec)
+	buf, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

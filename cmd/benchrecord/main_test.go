@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := []byte(`goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkNormalLoad-8   	 5070324	        11.53 ns/op
+BenchmarkOblLoad/L2-8   	  406249	       150.4 ns/op	      16 B/op	       1 allocs/op
+BenchmarkSimulatorThroughput-8	       1	61876217 ns/op	    808105 sim-instrs/s	16184560 B/op	  167151 allocs/op
+PASS
+ok  	repro	1.2s
+`)
+	benches := parseBench(out)
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	if b := benches[0]; b.NsPerOp != 11.53 || b.Iters != 5070324 || b.AllocsPerOp != 0 {
+		t.Errorf("NormalLoad = %+v", b)
+	}
+	if b := benches[1]; b.BytesPerOp != 16 || b.AllocsPerOp != 1 {
+		t.Errorf("OblLoad = %+v", b)
+	}
+	if b := benches[2]; b.Metrics["sim-instrs/s"] != 808105 {
+		t.Errorf("SimulatorThroughput metrics = %+v", b.Metrics)
+	}
+}
+
+func TestAppendRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_20260808.json")
+	rec := Record{Date: "2026-08-08T00:00:00Z", GitSHA: "abc", GoVersion: "go1.24.0",
+		Benchmarks: []Benchmark{{Name: "BenchmarkX", Iters: 1, NsPerOp: 2}}}
+	if err := appendRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendRecord(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Benchmarks[0].Name != "BenchmarkX" {
+		t.Fatalf("file holds %+v", recs)
+	}
+	// A non-benchrecord file is refused rather than clobbered.
+	bad := filepath.Join(t.TempDir(), "BENCH_x.json")
+	os.WriteFile(bad, []byte(`{"not":"an array"}`), 0o644)
+	if err := appendRecord(bad, rec); err == nil {
+		t.Error("appendRecord overwrote a foreign file")
+	}
+}

@@ -17,6 +17,8 @@
 //	sdoctl health
 //	sdoctl metrics
 //	sdoctl spec                      # speculation status (server: -speculate)
+//	sdoctl trace sweep-1             # span-tree trace (server: -trace)
+//	sdoctl flight                    # flight recorder: last N events + build info
 //
 // The server defaults to $SDOCTL_SERVER, then http://localhost:8344.
 package main
@@ -29,8 +31,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/obs/trace"
 	"repro/internal/simsvc"
 )
 
@@ -58,6 +63,9 @@ commands:
   health    show the server's /healthz document
   metrics   dump the server's /metrics document
   spec      show speculation status (/spec; server must run -speculate)
+  trace     show a sweep's span-tree trace:  sdoctl trace <id> [-format text|json|chrome] [-o file]
+            (server must run -trace)
+  flight    dump the flight recorder (/debug/flight: last events + build info)
 `)
 }
 
@@ -120,6 +128,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return c.stream("/metrics")
 	case "spec":
 		return c.showJSON("/spec")
+	case "trace":
+		id, ok := needID()
+		if !ok {
+			return 2
+		}
+		return c.trace(id, rest[1:])
+	case "flight":
+		return c.showJSON("/debug/flight")
 	default:
 		fmt.Fprintf(stderr, "sdoctl: unknown command %q\n\n", cmd)
 		usage(stderr)
@@ -339,6 +355,88 @@ func (c *client) export(id string, args []string) int {
 		fmt.Fprintf(c.errw, "sdoctl: export written to %s\n", *out)
 	}
 	return 0
+}
+
+// trace fetches a sweep's span-tree trace. The default text rendering is
+// an indented tree with a per-cell attribution summary; -format json and
+// -format chrome pass the server documents through (chrome is loadable
+// in chrome://tracing or Perfetto).
+func (c *client) trace(id string, args []string) int {
+	fs := flag.NewFlagSet("sdoctl trace", flag.ContinueOnError)
+	fs.SetOutput(c.errw)
+	format := fs.String("format", "text", "output format: text, json, or chrome")
+	out := fs.String("o", "", "write the trace to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	path := "/sweeps/" + id + "/trace"
+	switch *format {
+	case "text", "json":
+	case "chrome":
+		path += "?format=chrome"
+	default:
+		fmt.Fprintf(c.errw, "sdoctl trace: unknown format %q (want text, json or chrome)\n", *format)
+		return 2
+	}
+	resp, err := c.do(http.MethodGet, path, nil)
+	if err != nil {
+		return c.fail(err)
+	}
+	defer resp.Body.Close()
+	w := c.out
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return c.fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *format != "text" {
+		if _, err := io.Copy(w, resp.Body); err != nil {
+			return c.fail(err)
+		}
+		return 0
+	}
+	var doc trace.Doc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return c.fail(err)
+	}
+	fmt.Fprintf(w, "%s  (epoch %s, %d cells)\n", doc.ID, doc.Epoch.Format(time.RFC3339), len(doc.Cells))
+	for _, cell := range doc.Cells {
+		fmt.Fprintf(w, "\n%s\n", cell.Cell)
+		printNode(w, cell.Spans, 1)
+		if cell.Attribution != nil {
+			fmt.Fprintf(w, "  = %s\n", cell.Attribution.Summary())
+		}
+	}
+	return 0
+}
+
+// printNode renders one span subtree as an indented duration tree.
+func printNode(w io.Writer, n *trace.Node, depth int) {
+	if n == nil {
+		return
+	}
+	indent := strings.Repeat("  ", depth)
+	label := n.Name
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var parts []string
+		for _, k := range keys {
+			parts = append(parts, k+"="+n.Attrs[k])
+		}
+		label += " [" + strings.Join(parts, " ") + "]"
+	}
+	fmt.Fprintf(w, "%s%-40s %10.1fms  @%+.1fms\n", indent, label,
+		float64(n.DurUS)/1e3, float64(n.StartUS)/1e3)
+	for _, c := range n.Children {
+		printNode(w, c, depth+1)
+	}
 }
 
 func (c *client) cancel(id string) int {

@@ -112,6 +112,69 @@ func TestListStatusCancelHealthMetrics(t *testing.T) {
 	}
 }
 
+// newTracedServer is newServer with sweep tracing on.
+func newTracedServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := simsvc.New(simsvc.Config{Workers: 2, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Shutdown(context.Background())
+	})
+	return srv
+}
+
+func TestTraceAndFlight(t *testing.T) {
+	srv := newTracedServer(t)
+
+	code, _, errw := ctl(t, srv, "submit", "-workloads", "exchange2_r",
+		"-variants", "unsafe,hybrid", "-models", "spectre",
+		"-instrs", "2000", "-warmup", "1000", "-wait")
+	if code != 0 {
+		t.Fatalf("submit: %q", errw)
+	}
+
+	// Default text rendering: a span tree per cell plus an attribution
+	// summary line.
+	code, out, errw := ctl(t, srv, "trace", "sweep-1")
+	if code != 0 {
+		t.Fatalf("trace: exit %d, stderr %q", code, errw)
+	}
+	for _, want := range []string{"sweep-1", "cell", "queue-wait", "cache-lookup", "simulate", "= wall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace text missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out, _ = ctl(t, srv, "trace", "sweep-1", "-format", "json")
+	if code != 0 {
+		t.Fatalf("trace -format json: exit %d", code)
+	}
+	var doc struct {
+		Cells []json.RawMessage `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil || len(doc.Cells) != 2 {
+		t.Errorf("trace json: err %v, %d cells, out %q", err, len(doc.Cells), out)
+	}
+
+	code, out, _ = ctl(t, srv, "trace", "sweep-1", "-format", "chrome")
+	if code != 0 || !strings.Contains(out, "traceEvents") {
+		t.Errorf("trace -format chrome: exit %d, out %q", code, out)
+	}
+
+	code, out, _ = ctl(t, srv, "flight")
+	if code != 0 || !strings.Contains(out, `"build"`) || !strings.Contains(out, "sweep-finished") {
+		t.Errorf("flight: exit %d, out %q", code, out)
+	}
+
+	if code, _, errw := ctl(t, srv, "trace", "sweep-9"); code != 1 || !strings.Contains(errw, "unknown sweep") {
+		t.Errorf("trace of unknown sweep: exit %d, stderr %q", code, errw)
+	}
+}
+
 func TestBadInvocations(t *testing.T) {
 	srv := newServer(t)
 	if code, _, _ := ctl(t, srv); code != 2 {

@@ -59,6 +59,10 @@ func main() {
 		speculate   = flag.Bool("speculate", false, "pre-execute predicted follow-up sweeps on idle workers (internal/specexec)")
 		specBudget  = flag.Duration("spec-budget", 0, "wasted-CPU budget for speculation; exhausting it stops pre-execution (0: default 5m)")
 		specJournal = flag.String("spec-journal", "", "submission-history journal file for the predictor (default: <cache>.history)")
+
+		traceOn   = flag.Bool("trace", false, "record a span tree per sweep cell, served at GET /sweeps/{id}/trace and embedded in exports")
+		traceJobs = flag.Int("trace-jobs", 0, "job traces retained (0: default 64)")
+		flightN   = flag.Int("flight", 0, "flight-recorder ring size at GET /debug/flight (0: default 256)")
 	)
 	flag.Parse()
 
@@ -91,6 +95,9 @@ func main() {
 		Speculate:       *speculate,
 		SpecBudget:      *specBudget,
 		SpecJournal:     *specJournal,
+		Trace:           *traceOn,
+		TraceMaxJobs:    *traceJobs,
+		FlightEvents:    *flightN,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdoserver:", err)
@@ -101,6 +108,9 @@ func main() {
 	}
 	if *speculate {
 		fmt.Fprintln(os.Stderr, "sdoserver: speculative pre-execution enabled (status at GET /spec)")
+	}
+	if *traceOn {
+		fmt.Fprintln(os.Stderr, "sdoserver: sweep tracing enabled (traces at GET /sweeps/{id}/trace)")
 	}
 
 	handler := svc.Handler()

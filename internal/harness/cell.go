@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs/trace"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -151,31 +153,46 @@ func RunCell(ctx context.Context, wl workload.Workload, v core.Variant, m pipeli
 	ab core.Ablation, p RunParams, pol RunPolicy, inj *faults.Injector) (core.Result, int, error) {
 	k := Key{wl.Name, v, m}
 	fk := faultKey(k, ab)
+	// The parent span (nil with tracing off — every span call below is
+	// then a bare nil check) gets a child per attempt and per backoff
+	// sleep, so a retried cell's trace shows where the wall clock went.
+	parent := trace.FromContext(ctx)
 	var last *CellError
 	for attempt := 0; attempt < pol.attempts(); attempt++ {
 		if attempt > 0 {
 			pol.notify(CellEvent{Kind: "retry", Key: k, Attempt: attempt, Err: last})
+			bo := parent.Child(trace.PhaseBackoff)
 			t := time.NewTimer(pol.backoffFor(k, attempt))
 			select {
 			case <-ctx.Done():
 				t.Stop()
+				bo.Finish()
 				return core.Result{}, attempt, ctx.Err()
 			case <-t.C:
 			}
+			bo.Finish()
 		}
+		as := parent.Child(trace.PhaseAttempt)
+		as.Set("n", strconv.Itoa(attempt+1))
 		r, err := runAttempt(ctx, wl, v, m, ab, p, pol, inj, fk, attempt)
 		if err == nil {
+			as.Set("outcome", "ok")
+			as.Finish()
 			return r, attempt, nil
 		}
 		var ce *CellError
 		if !errors.As(err, &ce) {
 			// Cancellation / abandonment: the caller stopped caring;
 			// pass it through untyped and unretried.
+			as.Set("outcome", "cancelled")
+			as.Finish()
 			return core.Result{}, attempt, err
 		}
 		ce.Key = k
 		ce.Attempts = attempt + 1
 		last = ce
+		as.Set("outcome", string(ce.Kind))
+		as.Finish()
 		pol.notify(CellEvent{Kind: string(ce.Kind), Key: k, Attempt: attempt, Err: ce.Err})
 		if !ce.Transient() {
 			break

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs/trace"
 )
 
 // Export is the machine-readable form of a sweep: everything the text
@@ -48,6 +49,10 @@ type ExportRun struct {
 	Intervals  []core.IntervalPoint `json:"intervals,omitempty"`
 	ROBOccHist []uint64             `json:"rob_occ_hist,omitempty"`
 	LQOccHist  []uint64             `json:"lq_occ_hist,omitempty"`
+
+	// Attribution is the per-cell latency breakdown (present only when the
+	// producing service ran with tracing enabled; see internal/obs/trace).
+	Attribution *trace.Attribution `json:"attribution,omitempty"`
 }
 
 // Fig6Row is one Figure 6 series point (the per-variant average).
@@ -134,6 +139,7 @@ func (r *Results) Export() Export {
 			Intervals:       run.Intervals,
 			ROBOccHist:      run.ROBOccHist,
 			LQOccHist:       run.LQOccHist,
+			Attribution:     r.Attrib[k], // nil (omitted) when untraced
 		})
 	}
 	for _, m := range r.Opt.Models {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs/trace"
 	"repro/internal/pipeline"
 	"repro/internal/simpoint"
 	"repro/internal/workload"
@@ -186,6 +187,14 @@ type Results struct {
 	// Failures lists cells that failed permanently. Empty unless
 	// Options.TolerateFailures let the sweep complete around them.
 	Failures []CellFailure
+
+	// Attrib carries per-cell latency attributions when the producer ran
+	// with tracing enabled (the simulation service's trace layer); nil
+	// otherwise. Unlike the counters above it DOES enter the JSON Export
+	// (ExportRun.Attribution, omitted when absent): attribution is an
+	// explicitly opt-in annotation, and an untraced run's export stays
+	// byte-identical to one produced before tracing existed.
+	Attrib map[Key]*trace.Attribution
 }
 
 // CellFailure records one permanently-failed cell of a tolerant sweep.

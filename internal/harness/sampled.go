@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"strconv"
 	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs/trace"
 	"repro/internal/pipeline"
 	"repro/internal/simpoint"
 	"repro/internal/workload"
@@ -123,10 +125,17 @@ func subtractWarmBase(r core.Result, ck *arch.Checkpoint) core.Result {
 func RunSampledCell(ctx context.Context, workers int, wl workload.Workload, v core.Variant, m pipeline.AttackModel,
 	ab core.Ablation, sp *SamplePlan, p RunParams, pol RunPolicy, inj *faults.Injector) (core.Result, int, error) {
 	reps := make([]core.Result, len(sp.Plan.Reps))
+	parent := trace.FromContext(ctx)
 	var mu sync.Mutex
 	var retries int
 	err := RunPool(ctx, workers, len(reps), func(ctx context.Context, i int) error {
-		r, rt, err := RunCell(ctx, wl, v, m, ab, sp.repParams(p, i), pol, inj)
+		// One span per representative interval; its RunCell's attempt
+		// spans nest underneath it.
+		iv := parent.Child(trace.PhaseInterval)
+		iv.Set("start", strconv.FormatUint(sp.Plan.Reps[i].Start, 10))
+		iv.Set("len", strconv.FormatUint(sp.Plan.Reps[i].Len, 10))
+		r, rt, err := RunCell(trace.NewContext(ctx, iv), wl, v, m, ab, sp.repParams(p, i), pol, inj)
+		iv.Finish()
 		mu.Lock()
 		defer mu.Unlock()
 		retries += rt
@@ -139,8 +148,10 @@ func RunSampledCell(ctx context.Context, workers int, wl workload.Workload, v co
 	if err != nil {
 		return core.Result{}, retries, err
 	}
+	rec := parent.Child(trace.PhaseReconstruct)
 	out := ReconstructResult(sp.Plan, reps)
 	attachSampledWindows(sp.Plan, reps, &out)
+	rec.Finish()
 	return out, retries, nil
 }
 

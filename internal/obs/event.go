@@ -55,8 +55,12 @@ const (
 	// prediction rounds, speculative cell starts/completions, demand hits
 	// on pre-executed entries, cancellations and governor throttling.
 	ClassSpec
+	// ClassTrace covers sweep-lifecycle tracing above the pipeline: cell
+	// phase spans rendered through the Chrome sink (internal/obs/trace)
+	// and slow-cell straggler warnings.
+	ClassTrace
 
-	numClasses = 13
+	numClasses = 14
 )
 
 // ClassAll enables every event class.
@@ -78,6 +82,7 @@ var classNames = map[Class]string{
 	ClassFault:  "fault",
 	ClassSample: "sample",
 	ClassSpec:   "spec",
+	ClassTrace:  "trace",
 }
 
 // ClassNames returns the canonical class names in stable order.

@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -129,6 +130,38 @@ func (g *Gauge) name() string { return g.nm }
 func (g *Gauge) write(w io.Writer) {
 	header(w, g.nm, "gauge", g.help)
 	fmt.Fprintf(w, "%s %s\n", g.nm, formatValue(g.Value()))
+}
+
+// --- Info metric ---
+
+// infoMetric is the Prometheus "info" idiom: a gauge pinned at 1 whose
+// labels carry build/version strings (sdo_build_info).
+type infoMetric struct {
+	nm, help string
+	labels   [][2]string
+}
+
+// NewInfo registers a constant gauge of value 1 with the given label
+// pairs (rendered in the order given; values are escaped).
+func (r *Registry) NewInfo(name, help string, labels [][2]string) {
+	r.register(&infoMetric{nm: name, help: help, labels: labels})
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func (m *infoMetric) name() string { return m.nm }
+func (m *infoMetric) write(w io.Writer) {
+	header(w, m.nm, "gauge", m.help)
+	parts := make([]string, 0, len(m.labels))
+	for _, l := range m.labels {
+		parts = append(parts, fmt.Sprintf("%s=%q", l[0], escapeLabel(l[1])))
+	}
+	fmt.Fprintf(w, "%s{%s} 1\n", m.nm, strings.Join(parts, ","))
 }
 
 // --- Function-backed metrics ---

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Build is the process's build identity, read once from the Go build
+// info embedded in the binary (runtime/debug.ReadBuildInfo). Fields the
+// toolchain did not stamp (e.g. VCS data in a `go test` binary) are
+// empty.
+type Build struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// ReadBuild returns the process's build identity.
+func ReadBuild() Build {
+	buildOnce.Do(func() {
+		buildInfo.GoVersion = runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Path = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.VCSTime = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// memSampler caches one runtime.ReadMemStats per interval, so a scrape
+// of several heap gauges pays for a single (stop-the-world) read.
+type memSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+const memSampleInterval = time.Second
+
+func (m *memSampler) sample() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := time.Now(); now.Sub(m.at) >= memSampleInterval {
+		runtime.ReadMemStats(&m.stat)
+		m.at = now
+	}
+	return m.stat
+}
+
+// RegisterProcessMetrics adds process-level collectors to a registry:
+// the sdo_build_info info gauge (version/commit labels from the embedded
+// build info) plus goroutine, heap and GC gauges sampled at scrape time.
+func RegisterProcessMetrics(r *Registry) {
+	b := ReadBuild()
+	r.NewInfo("sdo_build_info",
+		"Build identity of the serving binary; the value is always 1.",
+		[][2]string{
+			{"go_version", b.GoVersion},
+			{"path", b.Path},
+			{"version", b.Version},
+			{"revision", b.Revision},
+			{"modified", strconv.FormatBool(b.Modified)},
+		})
+	r.NewGaugeFunc("sdo_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	mem := &memSampler{}
+	r.NewGaugeFunc("sdo_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(mem.sample().HeapAlloc) })
+	r.NewGaugeFunc("sdo_heap_sys_bytes", "Bytes of heap obtained from the OS.",
+		func() float64 { return float64(mem.sample().HeapSys) })
+	r.NewGaugeFunc("sdo_heap_objects", "Live heap objects.",
+		func() float64 { return float64(mem.sample().HeapObjects) })
+	r.NewCounterFunc("sdo_gc_runs_total", "Completed GC cycles.",
+		func() float64 { return float64(mem.sample().NumGC) })
+	r.NewCounterFunc("sdo_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 { return float64(mem.sample().PauseTotalNs) / 1e9 })
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Sink consumes events. Sinks are driven from the single simulation
@@ -234,4 +235,38 @@ func (s *RingSink) WriteText(w io.Writer) {
 	for _, e := range s.Events() {
 		t.Emit(e)
 	}
+}
+
+// --- Concurrency-safe ring sink ---
+
+// SafeRingSink is a RingSink safe for concurrent emitters and readers —
+// the flight recorder for services whose events come from many worker
+// goroutines, read live over HTTP (/debug/flight) rather than after the
+// run. Plain RingSink stays lock-free for the single-goroutine simulator
+// hot path.
+type SafeRingSink struct {
+	mu   sync.Mutex
+	ring *RingSink
+}
+
+// NewSafeRingSink returns a concurrent ring holding the last n events.
+func NewSafeRingSink(n int) *SafeRingSink {
+	return &SafeRingSink{ring: NewRingSink(n)}
+}
+
+// Emit records the event, overwriting the oldest once full.
+func (s *SafeRingSink) Emit(e Event) {
+	s.mu.Lock()
+	s.ring.Emit(e)
+	s.mu.Unlock()
+}
+
+// Close is a no-op (the ring is read live).
+func (s *SafeRingSink) Close() error { return nil }
+
+// Events returns a snapshot of the buffered events, oldest first.
+func (s *SafeRingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ring.Events()
 }

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Handler returns the service's HTTP API:
@@ -20,6 +22,11 @@ import (
 //	GET    /sweeps/{id}/progress stream per-run progress lines (text/plain)
 //	GET    /sweeps/{id}/export   harness.Export JSON (blocks until done);
 //	                             ablation jobs return AblationExport instead
+//	GET    /sweeps/{id}/trace    span-tree trace JSON (?format=chrome for the
+//	                             Chrome trace-event form); registered only
+//	                             with tracing enabled
+//	GET    /debug/flight         flight recorder: the last N observability
+//	                             events plus the binary's build identity
 //	GET    /healthz              liveness probe: Health JSON; 200 while
 //	                             serving ("ok"/"degraded"), 503 draining
 //	GET    /metrics              Prometheus-style counters
@@ -46,6 +53,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /sweeps/{id}", s.handleCancel)
 	mux.HandleFunc("GET /sweeps/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /sweeps/{id}/export", s.handleExport)
+	if s.tracer != nil {
+		// GET /sweeps/{id}/trace — registered only with -trace, so an
+		// untraced server's API surface is unchanged.
+		mux.HandleFunc("GET /sweeps/{id}/trace", s.handleTrace)
+	}
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	return mux
 }
 
@@ -199,6 +212,55 @@ func (s *Service) handleExport(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	res.WriteJSON(w)
+}
+
+// handleTrace serves a job's span-tree trace. Safe while the job still
+// runs (open spans report duration-so-far); ?format=chrome renders the
+// Chrome trace-event form for chrome://tracing / Perfetto.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	jt := j.Trace()
+	if jt == nil {
+		http.Error(w, "no trace for this sweep (submitted before tracing was enabled, or evicted)",
+			http.StatusNotFound)
+		return
+	}
+	doc := jt.Doc()
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		doc.WriteChrome(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// flightEvent is one flight-recorder event with the class rendered as
+// its name (the raw obs.Event omits Class from JSON).
+type flightEvent struct {
+	obs.Event
+	Class string `json:"class"`
+}
+
+// FlightDoc is the /debug/flight document: build identity plus the last
+// N observability events from the always-on ring sink.
+type FlightDoc struct {
+	Build  obs.Build     `json:"build"`
+	Events []flightEvent `json:"events"`
+}
+
+// handleFlight serves the flight recorder. Always registered: the ring
+// runs whatever Recorder or tracing configuration is active, so there is
+// a tail of evidence even on an otherwise-unobserved server.
+func (s *Service) handleFlight(w http.ResponseWriter, r *http.Request) {
+	evs := s.flight.Events()
+	doc := FlightDoc{Build: obs.ReadBuild(), Events: make([]flightEvent, 0, len(evs))}
+	for _, e := range evs {
+		doc.Events = append(doc.Events, flightEvent{Event: e, Class: e.Class.String()})
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // handleMetrics writes the registry in the Prometheus text exposition

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs/trace"
 )
 
 // JobState is a sweep job's lifecycle state.
@@ -55,6 +56,10 @@ type Job struct {
 	ablation bool
 	cellRes  []core.Result
 
+	// jt is the job's span-tree trace (nil with tracing off). Set by
+	// Submit before any cell is enqueued, immutable afterwards.
+	jt *trace.JobTrace
+
 	// onTerminal, set by the service before the job starts, observes the
 	// transition to a terminal state (persistence scheduling, registry
 	// eviction). Called exactly once, outside j.mu.
@@ -72,6 +77,7 @@ type Job struct {
 	failedWl  map[string]bool // workloads with ≥ 1 failed cell
 	progress  []string
 	runs      map[harness.Key]core.Result
+	attrib    map[harness.Key]*trace.Attribution // per-cell breakdowns (tracing on, sweep jobs only)
 	err       error
 	finished  time.Time
 	done      chan struct{}
@@ -83,6 +89,9 @@ func (j *Job) Ablation() bool { return j.ablation }
 
 // Options returns the job's resolved sweep options.
 func (j *Job) Options() harness.Options { return j.opt }
+
+// Trace returns the job's span-tree trace (nil with tracing off).
+func (j *Job) Trace() *trace.JobTrace { return j.jt }
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -160,8 +169,8 @@ func (j *Job) maybeFinish() func() {
 // deliver records one completed cell. idx is the cell's index in the
 // job's enumeration order (ablation jobs record by index; sweep jobs by
 // harness.Key). retries counts attempts beyond the first that the cell
-// needed.
-func (j *Job) deliver(idx int, k harness.Key, r core.Result, line string, fromCache bool, retries int) {
+// needed; att is the cell's latency attribution (nil with tracing off).
+func (j *Job) deliver(idx int, k harness.Key, r core.Result, line string, fromCache bool, retries int, att *trace.Attribution) {
 	j.mu.Lock()
 	if j.terminal() {
 		j.mu.Unlock()
@@ -171,6 +180,12 @@ func (j *Job) deliver(idx int, k harness.Key, r core.Result, line string, fromCa
 		j.cellRes[idx] = r
 	} else {
 		j.runs[k] = r
+		if att != nil {
+			if j.attrib == nil {
+				j.attrib = make(map[harness.Key]*trace.Attribution)
+			}
+			j.attrib[k] = att
+		}
 	}
 	j.completed++
 	j.retries += uint64(retries)
@@ -314,7 +329,17 @@ func (j *Job) Results() (*harness.Results, error) {
 		}
 		runs[k] = r
 	}
-	return &harness.Results{Opt: opt, Runs: runs}, nil
+	res := &harness.Results{Opt: opt, Runs: runs}
+	if len(j.attrib) > 0 {
+		res.Attrib = make(map[harness.Key]*trace.Attribution, len(j.attrib))
+		for k, a := range j.attrib {
+			if j.failedWl[k.Workload] {
+				continue
+			}
+			res.Attrib[k] = a
+		}
+	}
+	return res, nil
 }
 
 // AblationSection is one attack model's ablation table.

@@ -2,8 +2,11 @@ package simsvc
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +16,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/pipeline"
 	"repro/internal/simpoint"
 	"repro/internal/workload"
@@ -70,6 +74,20 @@ type Config struct {
 	// enabled, ClassSpec events.
 	Recorder *obs.Recorder
 
+	// Trace enables the sweep-lifecycle span model (internal/obs/trace):
+	// GET /sweeps/{id}/trace serves a span tree per cell, exports carry a
+	// per-cell latency attribution, and slow cells log a span breakdown.
+	// Off by default; when off the tracer is nil and every span call in
+	// the hot path degrades to a single nil check — results and exports
+	// are byte-identical to a build without the subsystem.
+	Trace bool
+	// TraceMaxJobs bounds retained job traces (0: trace.DefaultMaxJobs).
+	TraceMaxJobs int
+	// FlightEvents sizes the /debug/flight ring buffer: the last N
+	// observability events are always retained in memory, whatever
+	// Recorder is configured (0: default 256).
+	FlightEvents int
+
 	// AutoTimeout derives each cell attempt's wall-clock deadline from
 	// the observed run-duration histogram (p99 × autoTimeoutFactor,
 	// clamped to [1s, CellTimeout-or-10m]) once enough runs have been
@@ -120,6 +138,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryStormThreshold <= 0 {
 		c.RetryStormThreshold = 50
 	}
+	if c.FlightEvents <= 0 {
+		c.FlightEvents = 256
+	}
 	if c.Speculate && c.SpecJournal == "" && c.CachePath != "" {
 		c.SpecJournal = c.CachePath + ".history"
 	}
@@ -161,7 +182,9 @@ type Service struct {
 	cancel  context.CancelFunc
 	inj     *faults.Injector
 	rec     *obs.Recorder
-	spec    *speculation // nil unless cfg.Speculate
+	spec    *speculation      // nil unless cfg.Speculate
+	tracer  *trace.Tracer     // nil unless cfg.Trace
+	flight  *obs.SafeRingSink // /debug/flight ring (always on)
 
 	mu       sync.Mutex
 	closed   bool
@@ -208,6 +231,7 @@ type Service struct {
 
 	retriesTotal atomic.Uint64 // cell attempts beyond the first
 	cellsFailed  atomic.Uint64 // cells that failed permanently
+	slowCells    atomic.Uint64 // executed cells that exceeded the p99 run duration
 	cellPanics   atomic.Uint64 // attempts that panicked (recovered)
 	cellTimeouts atomic.Uint64 // attempts killed by the wall-clock deadline
 	cellStalls   atomic.Uint64 // attempts killed by the stall watchdog
@@ -255,6 +279,12 @@ type delivery struct {
 	job *Job
 	idx int // cell index in the job's enumeration order
 	key harness.Key
+
+	// Tracing state (nil with tracing off): the waiter's cell trace, and
+	// — for waiters that joined an existing flight rather than executing
+	// — the open await-inflight span the deliverer finishes.
+	ct    *trace.CellTrace
+	await *trace.Span
 }
 
 // ckFlight is one checkpoint-tier entry: the first cell to need it
@@ -292,6 +322,15 @@ func New(cfg Config) (*Service, error) {
 	cache.SetMaxEntries(cfg.CacheMaxEntries)
 	cache.SetMaxBytes(cfg.CacheMaxBytes)
 	ctx, cancel := context.WithCancel(context.Background())
+	// The flight recorder always runs: every event the service emits
+	// lands in a bounded ring served by /debug/flight, with the
+	// configured Recorder (whose own class mask still applies) fanned in
+	// behind it.
+	ring := obs.NewSafeRingSink(cfg.FlightEvents)
+	sinks := []obs.Sink{ring}
+	if cfg.Recorder != nil {
+		sinks = append(sinks, cfg.Recorder)
+	}
 	s := &Service{
 		cfg:      cfg,
 		cache:    cache,
@@ -299,11 +338,15 @@ func New(cfg Config) (*Service, error) {
 		ctx:      ctx,
 		cancel:   cancel,
 		inj:      cfg.Faults,
-		rec:      cfg.Recorder,
+		rec:      obs.NewRecorder(obs.ClassAll, sinks...),
+		flight:   ring,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*flight),
 		ckpts:    make(map[string]*ckFlight),
 		plans:    make(map[string]*planFlight),
+	}
+	if cfg.Trace {
+		s.tracer = trace.New(cfg.TraceMaxJobs)
 	}
 	if loadFailed {
 		s.cacheLoadFailed.Store(true)
@@ -380,6 +423,8 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(s.retriesTotal.Load()) })
 	ctr("sdo_cells_failed_total", "Cells that failed permanently (retries exhausted or non-retryable).",
 		func() float64 { return float64(s.cellsFailed.Load()) })
+	ctr("sdo_slow_cells_total", "Executed cells whose wall time exceeded the observed p99 run duration.",
+		func() float64 { return float64(s.slowCells.Load()) })
 	ctr("sdo_cell_panics_total", "Cell attempts that panicked (recovered in isolation).",
 		func() float64 { return float64(s.cellPanics.Load()) })
 	ctr("sdo_cell_timeouts_total", "Cell attempts killed by the per-cell deadline.",
@@ -452,6 +497,11 @@ func (s *Service) registerMetrics() {
 		gau("sdo_spec_backlog", "Speculative cells queued or running.",
 			func() float64 { return float64(sp.backlog()) })
 	}
+	if s.tracer != nil {
+		gau("sdo_trace_jobs", "Job traces currently retained.",
+			func() float64 { return float64(s.tracer.Jobs()) })
+	}
+	obs.RegisterProcessMetrics(r)
 	s.reg = r
 }
 
@@ -759,10 +809,15 @@ func (s *Service) Submit(req SweepRequest) (*Job, error) {
 	}
 	s.nextID++
 	j.ID = fmt.Sprintf("sweep-%d", s.nextID)
+	j.jt = s.tracer.StartJob(j.ID)
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.mu.Unlock()
 	s.jobsTotal.Add(1)
+	if s.rec.On(obs.ClassTrace) {
+		s.rec.Emit(obs.Event{Class: obs.ClassTrace, Kind: "sweep-submitted",
+			Detail: fmt.Sprintf("%s: %d cells", j.ID, len(cells))})
+	}
 
 	if s.spec != nil {
 		// Demand preempts speculation: squash speculative cells this
@@ -791,7 +846,13 @@ func (s *Service) Submit(req SweepRequest) (*Job, error) {
 // is persisted write-behind, the registry bound is enforced, and the
 // speculation engine is kicked — the pool is likely idle now, and the
 // just-finished job is fresh prediction context.
-func (s *Service) jobFinished(*Job) {
+func (s *Service) jobFinished(j *Job) {
+	if s.rec.On(obs.ClassTrace) {
+		st := j.Status()
+		s.rec.Emit(obs.Event{Class: obs.ClassTrace, Kind: "sweep-finished",
+			Detail: fmt.Sprintf("%s: %s (%d/%d runs, %d cached, %d failed)",
+				st.ID, st.State, st.Completed, st.Total, st.Cached, st.Failed)})
+	}
 	s.mu.Lock()
 	s.evictJobsLocked()
 	s.mu.Unlock()
@@ -1036,29 +1097,41 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 		return
 	}
 	k := spec.Key()
+	// ct is nil with tracing off: every span call below degrades to one
+	// nil check. The root span starts at enqueue, so its duration is the
+	// cell's reported wall clock; queue-wait is recorded retroactively.
+	ct := j.jt.StartCell(cellName(k), enqueued)
+	ct.Root().ChildAt(trace.PhaseQueue, enqueued).Finish()
 	line := func(r core.Result, note string) string {
 		return harness.FormatProgress(k, r) + note
 	}
-	if r, ok := s.cache.Get(key); ok {
+	cs := ct.Root().Child(trace.PhaseCache)
+	r, hit := s.cache.Get(key)
+	cs.Set("hit", strconv.FormatBool(hit))
+	cs.Finish()
+	if hit {
 		note := "  [cached]"
 		if s.spec != nil {
-			if cpu, spec := s.spec.track.Claim(key); spec {
+			if cpu, wasSpec := s.spec.track.Claim(key); wasSpec {
 				// The entry was pre-executed speculatively and this is
 				// the demand request it was predicted for: credit the
-				// governor with the compute the hit just saved.
+				// governor with the compute the hit just saved, and
+				// stitch the pre-execution's spans into this trace.
 				s.spec.hits.Add(1)
 				s.spec.gov.Hit(cpu)
+				ct.Stitch(s.tracer.ClaimSpec(key))
 				note = "  [cached, speculated]"
 				s.spec.event("spec-hit", fmt.Sprintf("%s/%v/%v (saved %s)",
 					k.Workload, k.Variant, k.Model, cpu.Round(time.Millisecond)))
 			}
 		}
-		j.deliver(idx, k, r, line(r, note), true, 0)
+		j.deliver(idx, k, r, line(r, note), true, 0, finishCell(ct, "cached"))
 		return
 	}
 	s.mu.Lock()
 	if f, ok := s.inflight[key]; ok {
-		f.waiters = append(f.waiters, delivery{job: j, idx: idx, key: k})
+		await := ct.Root().Child(trace.PhaseAwait)
+		f.waiters = append(f.waiters, delivery{job: j, idx: idx, key: k, ct: ct, await: await})
 		claimedNow := f.spec && !f.claimed
 		if claimedNow {
 			// Joining a still-running speculative flight claims it: it
@@ -1074,7 +1147,7 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 		}
 		return
 	}
-	f := &flight{waiters: []delivery{{job: j, idx: idx, key: k}}}
+	f := &flight{waiters: []delivery{{job: j, idx: idx, key: k, ct: ct}}}
 	s.inflight[key] = f
 	s.mu.Unlock()
 
@@ -1089,12 +1162,14 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 	// The cell runs under a non-cancelling context: shutdown drains
 	// in-flight cells (complete-and-persist), and a cancelled job's
 	// cells abort via pol.Abort only once no other live job waits on
-	// them.
-	r, retries, elapsed, err := s.execute(context.Background(), spec, pol)
+	// them. The executing waiter's root span rides along so the harness
+	// nests its attempt/interval spans under this cell's simulate phase.
+	r, retries, elapsed, err := s.execute(trace.NewContext(context.Background(), ct.Root()), spec, pol)
 	if elapsed > 0 {
 		s.runNanos.Add(uint64(elapsed))
 		s.runDur.Observe(elapsed.Seconds())
 		s.runsExecuted.Add(1)
+		s.noteSlowCell(k, elapsed, ct)
 	}
 	if err == nil {
 		s.cache.Put(key, r)
@@ -1109,21 +1184,80 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 	switch {
 	case err == nil:
 		for _, w := range waiters {
-			w.job.deliver(w.idx, w.key, r, line(r, ""), false, retries)
+			w.await.Finish()
+			w.job.deliver(w.idx, w.key, r, line(r, ""), false, retries, finishCell(w.ct, "done"))
 		}
 	case errors.As(err, &ce):
 		s.deliverFailure(waiters, k, ce, retries)
 	case errors.Is(err, harness.ErrCellAbandoned):
 		s.runsSkipped.Add(1)
 		for _, w := range waiters {
+			w.await.Finish()
+			finishCell(w.ct, "abandoned")
 			w.job.skip()
 		}
 	default:
 		// Infrastructure error (cancellation, unknown workload, bad
 		// checkpoint key): fail the waiting jobs outright.
 		for _, w := range waiters {
+			w.await.Finish()
+			finishCell(w.ct, "error")
 			w.job.fail(fmt.Errorf("simsvc: %s/%v/%v: %w", spec.Workload, spec.Variant, spec.Model, err))
 		}
+	}
+}
+
+// cellName renders a harness key as the "workload/variant/model" label
+// span trees and slow-cell warnings use.
+func cellName(k harness.Key) string {
+	return fmt.Sprintf("%s/%v/%v", k.Workload, k.Variant, k.Model)
+}
+
+// finishCell closes a cell trace's root span with a terminal status and
+// returns its attribution (nil with tracing off — the delivery path then
+// records nothing).
+func finishCell(ct *trace.CellTrace, status string) *trace.Attribution {
+	if ct == nil {
+		return nil
+	}
+	ct.Root().Set("status", status)
+	ct.Finish()
+	return ct.Attribution()
+}
+
+// slowCellMinSamples is how many executed runs the duration histogram
+// must hold before the slow-cell detector trusts its p99.
+const slowCellMinSamples = 32
+
+// noteSlowCell emits one structured warning line (stderr JSON, plus a
+// ClassTrace event into the flight ring) for a cell whose execution
+// exceeded the p99 of the run-duration histogram. With tracing on, the
+// line carries the cell's span breakdown.
+func (s *Service) noteSlowCell(k harness.Key, elapsed time.Duration, ct *trace.CellTrace) {
+	if s.runDur.Count() < slowCellMinSamples {
+		return
+	}
+	p99 := s.runDur.Quantile(0.99)
+	if p99 <= 0 || elapsed.Seconds() <= p99 {
+		return
+	}
+	s.slowCells.Add(1)
+	breakdown := ct.Attribution().Summary() // snapshot; the root span is still open
+	warn := struct {
+		Level     string  `json:"level"`
+		Msg       string  `json:"msg"`
+		Cell      string  `json:"cell"`
+		Seconds   float64 `json:"seconds"`
+		P99       float64 `json:"p99_seconds"`
+		Breakdown string  `json:"breakdown,omitempty"`
+	}{"warn", "slow-cell", cellName(k), elapsed.Seconds(), p99, breakdown}
+	if b, err := json.Marshal(warn); err == nil {
+		fmt.Fprintln(os.Stderr, string(b))
+	}
+	if s.rec.On(obs.ClassTrace) {
+		s.rec.Emit(obs.Event{Class: obs.ClassTrace, Kind: "slow-cell",
+			Detail: fmt.Sprintf("%s took %s (p99 %.2fs) %s",
+				cellName(k), elapsed.Round(time.Millisecond), p99, breakdown)})
 	}
 }
 
@@ -1135,6 +1269,7 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 // cells through here, so a speculative result is bit-identical to the
 // demand result for the same key.
 func (s *Service) execute(ctx context.Context, spec RunSpec, pol harness.RunPolicy) (core.Result, int, time.Duration, error) {
+	parent := trace.FromContext(ctx)
 	wl, err := workload.ByName(spec.Workload)
 	if err != nil {
 		return core.Result{}, 0, 0, err
@@ -1149,10 +1284,12 @@ func (s *Service) execute(ctx context.Context, spec RunSpec, pol harness.RunPoli
 	if spec.simMode() == harness.SimSampled {
 		// Sampled cells execute a shared per-workload sampling plan;
 		// warmup accounting happens once, at plan-build time.
+		ps := parent.Child(trace.PhasePlan)
 		var planKey string
 		if planKey, err = spec.PlanKey(); err == nil {
 			sp, err = s.samplePlan(planKey, wl, spec)
 		}
+		ps.Finish()
 		if err != nil {
 			return core.Result{}, 0, 0, err
 		}
@@ -1161,32 +1298,39 @@ func (s *Service) execute(ctx context.Context, spec RunSpec, pol harness.RunPoli
 		if ckKey, err = spec.CheckpointKey(); err != nil {
 			return core.Result{}, 0, 0, err
 		}
+		cks := parent.Child(trace.PhaseCheckpoint)
 		if p.Checkpoint = s.checkpoint(ckKey, wl, spec.WarmupInstrs); p.Checkpoint == nil {
 			// Capture failed: degrade to in-place functional warmup for
 			// this cell (bit-identical, just slower).
 			s.warmupSimulated.Add(spec.WarmupInstrs)
 		}
+		cks.Set("restored", strconv.FormatBool(p.Checkpoint != nil))
+		cks.Finish()
 	} else if spec.WarmupInstrs > 0 {
 		s.warmupSimulated.Add(spec.WarmupInstrs)
 	}
 	var r core.Result
 	var retries int
+	sim := parent.Child(trace.PhaseSimulate)
+	simCtx := trace.NewContext(ctx, sim)
 	start := time.Now()
 	if sp != nil {
 		// Representative intervals run serially within the cell
 		// (workers=1): the service pool already parallelizes across
 		// cells, and each interval is its own fault-isolated RunCell
 		// attempt.
-		r, retries, err = harness.RunSampledCell(ctx, 1,
+		r, retries, err = harness.RunSampledCell(simCtx, 1,
 			wl, spec.Variant, spec.Model, spec.Ablate, sp, p, pol, s.inj)
 		if err == nil {
 			s.sampledCells.Add(1)
 			s.sampledInstrs.Add(sp.Plan.SampledInstrs())
 		}
 	} else {
-		r, retries, err = harness.RunCell(ctx, wl, spec.Variant, spec.Model, spec.Ablate, p, pol, s.inj)
+		r, retries, err = harness.RunCell(simCtx, wl, spec.Variant, spec.Model, spec.Ablate, p, pol, s.inj)
 	}
-	return r, retries, time.Since(start), err
+	elapsed := time.Since(start)
+	sim.Finish()
+	return r, retries, elapsed, err
 }
 
 // deliverFailure records one permanently-failed cell and degrades every
@@ -1203,6 +1347,8 @@ func (s *Service) deliverFailure(waiters []delivery, k harness.Key, ce *harness.
 	failLine := fmt.Sprintf("%-14s %-11s %-10s FAILED: %s after %d attempt(s): %v",
 		k.Workload, k.Variant, k.Model, ce.Kind, ce.Attempts, ce.Err)
 	for _, w := range waiters {
+		w.await.Finish()
+		finishCell(w.ct, "failed")
 		w.job.cellFail(w.idx, w.key, fail, failLine, retries)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/specexec"
 )
 
@@ -312,6 +314,10 @@ func (sp *speculation) runCell(spec RunSpec) {
 
 	k := spec.Key()
 	sp.event("spec-start", fmt.Sprintf("%s/%v/%v", k.Workload, k.Variant, k.Model))
+	// The pre-execution gets a standalone trace rooted at a spec-preexec
+	// span (nil with tracing off). If the demand request it predicted
+	// arrives, the whole tree is stitched under the demand cell's root.
+	ct := s.tracer.StartSpecCell(cellName(k))
 	// One attempt, no Abort hook: cancellation (squash) arrives through
 	// the context, and a failed speculation is simply dropped — retries
 	// are a demand-path luxury the governor should not pay for.
@@ -320,7 +326,7 @@ func (sp *speculation) runCell(spec RunSpec) {
 		CellTimeout:  s.cellTimeout(),
 		StallTimeout: s.cfg.StallTimeout,
 	}
-	r, _, elapsed, err := s.execute(ctx, spec, pol)
+	r, _, elapsed, err := s.execute(trace.NewContext(ctx, ct.Root()), spec, pol)
 
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -335,13 +341,19 @@ func (sp *speculation) runCell(spec RunSpec) {
 	case err == nil:
 		s.cache.Put(key, r)
 		sp.cellsExecuted.Add(1)
+		ct.Root().Set("claimed", strconv.FormatBool(claimed))
+		ct.Finish()
 		if claimed {
 			sp.gov.Hit(elapsed)
 			for _, w := range waiters {
-				w.job.deliver(w.idx, w.key, r, line("  [speculated]"), false, 0)
+				w.await.Finish()
+				w.ct.Stitch(ct)
+				w.job.deliver(w.idx, w.key, r, line("  [speculated]"), false, 0,
+					finishCell(w.ct, "speculated"))
 			}
 		} else {
 			sp.track.Add(key, elapsed)
+			s.tracer.TrackSpec(key, ct)
 		}
 		sp.event("spec-executed", fmt.Sprintf("%s/%v/%v in %s (claimed=%t)",
 			k.Workload, k.Variant, k.Model, elapsed.Round(time.Millisecond), claimed))
@@ -349,7 +361,11 @@ func (sp *speculation) runCell(spec RunSpec) {
 		sp.cancellations.Add(1)
 		sp.wastedNanos.Add(uint64(elapsed))
 		sp.gov.Waste(elapsed)
+		ct.Root().Set("squashed", "true")
+		ct.Finish()
 		for _, w := range waiters {
+			w.await.Finish()
+			finishCell(w.ct, "cancelled")
 			w.job.skip()
 		}
 		sp.event("spec-cancelled", fmt.Sprintf("%s/%v/%v after %s",
@@ -359,12 +375,16 @@ func (sp *speculation) runCell(spec RunSpec) {
 		// demand waiters exactly as a demand execution would have.
 		sp.wastedNanos.Add(uint64(elapsed))
 		sp.gov.Waste(elapsed)
+		ct.Finish()
 		s.deliverFailure(waiters, k, ce, 0)
 		sp.event("spec-failed", ce.Error())
 	default:
 		sp.wastedNanos.Add(uint64(elapsed))
 		sp.gov.Waste(elapsed)
+		ct.Finish()
 		for _, w := range waiters {
+			w.await.Finish()
+			finishCell(w.ct, "error")
 			w.job.skip()
 		}
 		sp.event("spec-failed", fmt.Sprintf("%s/%v/%v: %v", k.Workload, k.Variant, k.Model, err))
