@@ -237,6 +237,37 @@ func BenchmarkOblLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkSchemeDispatch measures the cost of the pluggable Scheme
+// interface per simulated instruction, one sub-benchmark per registered
+// scheme on the same kernel and budget. Interleaved methodology: run the
+// sub-benchmarks together in one invocation (they alternate within the
+// same process, so frequency scaling and cache state average out) and
+// compare Unsafe's sim-instrs/s against BenchmarkSimulatorThroughput's
+// trajectory record from before the refactor — the interface dispatch
+// replaced an inlined Protection switch, and any measurable overhead
+// would show up as an Unsafe regression.
+func BenchmarkSchemeDispatch(b *testing.B) {
+	wl, err := workload.ByName("deepsjeng_r")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range core.Registered() {
+		b.Run(v.String(), func(b *testing.B) {
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				prog, init := wl.Build()
+				m := core.NewMachine(core.Config{Variant: v, MaxInstrs: 50_000}, prog, init)
+				r, err := m.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				instrs += r.Committed
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
+		})
+	}
+}
+
 // BenchmarkNormalLoad measures the filling load path (L1 hits).
 func BenchmarkNormalLoad(b *testing.B) {
 	h := mem.NewHierarchy(mem.DefaultConfig())

@@ -14,6 +14,7 @@
 //	sdoctl progress sweep-1          # stream per-run lines until done
 //	sdoctl export sweep-1 -o out.json
 //	sdoctl cancel sweep-1
+//	sdoctl variants                  # list the registered protection schemes
 //	sdoctl health
 //	sdoctl metrics
 //	sdoctl spec                      # speculation status (server: -speculate)
@@ -60,6 +61,7 @@ commands:
   progress  stream per-run progress:      sdoctl progress <id>
   export    fetch the result export JSON: sdoctl export <id> [-o file]
   cancel    cancel a running job:         sdoctl cancel <id>
+  variants  list the registered protection schemes (/variants)
   health    show the server's /healthz document
   metrics   dump the server's /metrics document
   spec      show speculation status (/spec; server must run -speculate)
@@ -122,6 +124,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return c.cancel(id)
+	case "variants":
+		return c.variants()
 	case "health":
 		return c.showJSON("/healthz")
 	case "metrics":
@@ -323,6 +327,25 @@ func (c *client) list() int {
 	for _, j := range jobs {
 		fmt.Fprintf(c.out, "%-10s %-10s %4d/%-4d %8d %7d %8d\n",
 			j.ID, j.State, j.Completed, j.Total, j.Cached, j.Failed, j.Retries)
+	}
+	return 0
+}
+
+// variants lists the registered protection schemes as a table: the exact
+// names (and aliases) `sdoctl submit -variants` accepts.
+func (c *client) variants() int {
+	resp, err := c.do(http.MethodGet, "/variants", nil)
+	if err != nil {
+		return c.fail(err)
+	}
+	defer resp.Body.Close()
+	var schemes []simsvc.VariantInfo
+	if err := json.NewDecoder(resp.Body).Decode(&schemes); err != nil {
+		return c.fail(err)
+	}
+	fmt.Fprintf(c.out, "%-12s %-28s %s\n", "NAME", "ALIASES", "DESCRIPTION")
+	for _, s := range schemes {
+		fmt.Fprintf(c.out, "%-12s %-28s %s\n", s.Name, strings.Join(s.Aliases, ","), s.Description)
 	}
 	return 0
 }

@@ -112,6 +112,41 @@ func TestListStatusCancelHealthMetrics(t *testing.T) {
 	}
 }
 
+func TestVariants(t *testing.T) {
+	srv := newServer(t)
+	code, out, errw := ctl(t, srv, "variants")
+	if code != 0 {
+		t.Fatalf("variants: exit %d, stderr %q", code, errw)
+	}
+	for _, want := range []string{
+		"NAME", "DESCRIPTION",
+		"Unsafe", "STT{ld}", "Hybrid", "Perfect",
+		"SafeSpec", "safespec,safe-spec", "Shadow speculative cache",
+		"SpecBox", "invisible to probes until commit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("variants output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Submitting one of the listed additions by alias works end to end.
+	code, out, errw = ctl(t, srv, "submit", "-workloads", "exchange2_r",
+		"-variants", "safespec", "-models", "spectre", "-instrs", "2000", "-warmup", "1000", "-wait")
+	if code != 0 {
+		t.Fatalf("submit safespec: exit %d, stderr %q stdout %q", code, errw, out)
+	}
+	if !strings.Contains(out, "done (1/1 runs") {
+		t.Errorf("safespec sweep did not finish: %q", out)
+	}
+
+	// An unknown name is rejected with the valid-scheme list.
+	code, _, errw = ctl(t, srv, "submit", "-workloads", "exchange2_r",
+		"-variants", "nope", "-instrs", "2000")
+	if code != 1 || !strings.Contains(errw, "valid schemes") || !strings.Contains(errw, "SafeSpec") {
+		t.Errorf("unknown variant: exit %d, stderr %q", code, errw)
+	}
+}
+
 // newTracedServer is newServer with sweep tracing on.
 func newTracedServer(t *testing.T) *httptest.Server {
 	t.Helper()

@@ -11,6 +11,67 @@ import (
 	"repro/internal/workload"
 )
 
+// lockstep runs wl on the detailed pipeline under variant and advances the
+// functional emulator to every commit boundary, failing on any divergence
+// in committed registers, memory (checked every memEvery instructions and
+// at the end), or halt state. It returns the emulator's state for
+// coverage assertions.
+func lockstep(t *testing.T, wl workload.Workload, variant core.Variant, budget, memEvery uint64) arch.State {
+	t.Helper()
+	prog, init := wl.Build()
+	machine := core.NewMachine(core.Config{
+		Variant:   variant,
+		MaxInstrs: budget,
+	}, prog, init)
+	pipe := machine.Core()
+
+	fnMem := isa.NewMemory()
+	if init != nil {
+		init(fnMem)
+	}
+	var fn arch.State
+
+	nextMemCheck := memEvery
+	committed := uint64(0)
+	for !pipe.Halted() && committed < budget {
+		if err := pipe.Step(); err != nil {
+			t.Fatal(err)
+		}
+		now := pipe.Stats().Committed
+		if now == committed {
+			continue
+		}
+		for fn.Instrs < now && !fn.Halted {
+			fn.Step(prog, fnMem)
+		}
+		committed = now
+		if fn.Instrs != committed {
+			t.Fatalf("emulator executed %d instructions at pipeline boundary %d (halted=%v)",
+				fn.Instrs, committed, fn.Halted)
+		}
+		if pipe.Regs() != fn.Regs {
+			t.Fatalf("committed registers diverge at instruction %d:\npipeline %v\nemulator %v",
+				committed, pipe.Regs(), fn.Regs)
+		}
+		if committed >= nextMemCheck {
+			nextMemCheck += memEvery
+			if !reflect.DeepEqual(machine.Memory().Image(), fnMem.Image()) {
+				t.Fatalf("committed memory diverges at instruction %d", committed)
+			}
+		}
+	}
+	if committed == 0 {
+		t.Fatal("pipeline committed nothing")
+	}
+	if pipe.Halted() != fn.Halted {
+		t.Fatalf("halt state diverges: pipeline %v, emulator %v", pipe.Halted(), fn.Halted)
+	}
+	if !reflect.DeepEqual(machine.Memory().Image(), fnMem.Image()) {
+		t.Fatal("final committed memory diverges")
+	}
+	return fn
+}
+
 // TestDifferentialFunctionalVsDetailed locksteps the functional emulator
 // against the Unsafe detailed pipeline over every workload: after every
 // cycle in which the pipeline commits, the emulator is advanced to the
@@ -38,63 +99,40 @@ func TestDifferentialFunctionalVsDetailed(t *testing.T) {
 		wl := wl
 		t.Run(wl.Name, func(t *testing.T) {
 			t.Parallel()
-			prog, init := wl.Build()
-			machine := core.NewMachine(core.Config{
-				Variant:   core.Unsafe,
-				MaxInstrs: budget,
-			}, prog, init)
-			pipe := machine.Core()
-
-			fnMem := isa.NewMemory()
-			if init != nil {
-				init(fnMem)
-			}
-			var fn arch.State
-
-			var nextMemCheck uint64 = memEvery
-			committed := uint64(0)
-			for !pipe.Halted() && committed < budget {
-				if err := pipe.Step(); err != nil {
-					t.Fatal(err)
-				}
-				now := pipe.Stats().Committed
-				if now == committed {
-					continue
-				}
-				for fn.Instrs < now && !fn.Halted {
-					fn.Step(prog, fnMem)
-				}
-				committed = now
-				if fn.Instrs != committed {
-					t.Fatalf("emulator executed %d instructions at pipeline boundary %d (halted=%v)",
-						fn.Instrs, committed, fn.Halted)
-				}
-				if pipe.Regs() != fn.Regs {
-					t.Fatalf("committed registers diverge at instruction %d:\npipeline %v\nemulator %v",
-						committed, pipe.Regs(), fn.Regs)
-				}
-				if committed >= nextMemCheck {
-					nextMemCheck += memEvery
-					if !reflect.DeepEqual(machine.Memory().Image(), fnMem.Image()) {
-						t.Fatalf("committed memory diverges at instruction %d", committed)
-					}
-				}
-			}
-			if committed == 0 {
-				t.Fatal("pipeline committed nothing")
-			}
-			if pipe.Halted() != fn.Halted {
-				t.Fatalf("halt state diverges: pipeline %v, emulator %v", pipe.Halted(), fn.Halted)
-			}
-			if !reflect.DeepEqual(machine.Memory().Image(), fnMem.Image()) {
-				t.Fatal("final committed memory diverges")
-			}
+			fn := lockstep(t, wl, core.Unsafe, budget, memEvery)
 			// Stores are rare in the read-dominated kernels; coverage for
 			// them is asserted suite-wide above.
 			storeTotal.Add(fn.Stores)
 			if fn.Loads == 0 || fn.Branches == 0 {
 				t.Errorf("kernel exercised loads=%d branches=%d; differential coverage is weak",
 					fn.Loads, fn.Branches)
+			}
+		})
+	}
+}
+
+// TestDifferentialEveryScheme locksteps the emulator against the detailed
+// pipeline under every registered protection scheme. Whatever a scheme
+// does to timing — delaying loads, issuing Obl-Lds, filling and
+// discarding shadow structures — committed architectural state must stay
+// exactly the Unsafe/functional semantics. A reduced budget keeps the
+// (schemes × workloads) grid affordable; the Unsafe row above covers the
+// long differential.
+func TestDifferentialEveryScheme(t *testing.T) {
+	const (
+		budget   = 20_000
+		memEvery = 10_000
+	)
+	wls := workload.All()[:2]
+	for _, v := range core.Registered() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, wl := range wls {
+				fn := lockstep(t, wl, v, budget, memEvery)
+				if fn.Loads == 0 {
+					t.Errorf("%s: kernel exercised no loads; scheme coverage is weak", wl.Name)
+				}
 			}
 		})
 	}

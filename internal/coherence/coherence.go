@@ -233,6 +233,35 @@ func (c *Core) OblLoad(now uint64, addr uint64, pred mem.Level) mem.OblResult {
 	return c.h.OblLoad(now, addr, pred)
 }
 
+// SetSpecMode enables the private hierarchy's speculative-visibility
+// shadow (mem/spec.go).
+func (c *Core) SetSpecMode(m mem.SpecMode) { c.h.SetSpecMode(m) }
+
+// SpecTranslate delegates to the private hierarchy's speculative
+// translation path.
+func (c *Core) SpecTranslate(now uint64, addr uint64, seq uint64) (uint64, bool) {
+	return c.h.SpecTranslate(now, addr, seq)
+}
+
+// SpecLoad performs a speculative shadow-filling load. Like OblLoad it
+// deliberately takes NO directory action: a speculative fill must not be
+// observable by other cores (no downgrade of a remote owner, no sharer
+// entry a remote flush+reload probe could time). Coherence permissions
+// are acquired when the load commits (CommitSpec).
+func (c *Core) SpecLoad(now uint64, addr uint64, seq uint64) mem.AccessResult {
+	return c.h.SpecLoad(now, addr, seq)
+}
+
+// CommitSpec promotes a retiring speculative fill: the line becomes a
+// coherent committed copy, so read permission is acquired now.
+func (c *Core) CommitSpec(addr uint64, seq uint64) {
+	c.acquireRead(mem.LineAddr(addr))
+	c.h.CommitSpec(addr, seq)
+}
+
+// SquashSpec discards this core's speculative fills from seq onward.
+func (c *Core) SquashSpec(from uint64) { c.h.SquashSpec(from) }
+
 // Probe, Flush, Translate, TLBProbe, FetchAccess delegate to the private
 // hierarchy.
 func (c *Core) Probe(addr uint64) mem.Level { return c.h.Probe(addr) }

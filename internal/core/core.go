@@ -14,10 +14,12 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
-	"repro/internal/sdo"
 )
 
-// Variant names one row of Table II.
+// Variant identifies one registered protection scheme. The first eight
+// ids are the paper's Table II rows (the const block below); further
+// schemes join via RegisterScheme (registry.go) without widening the
+// default Table II sweep.
 type Variant int
 
 const (
@@ -41,11 +43,16 @@ const (
 	numVariants
 )
 
-// Variants returns all Table II rows in order.
+// Variants returns the Table II rows in order — exactly the grid the
+// published golden results sweep. Registered additions (SafeSpec,
+// SpecBox, ...) are excluded deliberately; sweep Registered() for the
+// full defense zoo.
 func Variants() []Variant {
-	out := make([]Variant, numVariants)
-	for i := range out {
-		out[i] = Variant(i)
+	out := make([]Variant, 0, numVariants)
+	for i, s := range registry {
+		if s.TableII {
+			out = append(out, Variant(i))
+		}
 	}
 	return out
 }
@@ -55,75 +62,45 @@ func SDOVariants() []Variant {
 	return []Variant{StaticL1, StaticL2, StaticL3, Hybrid, Perfect}
 }
 
-// String returns the Table II name.
+// String returns the registered scheme name (Table II spelling for the
+// paper's rows).
 func (v Variant) String() string {
-	switch v {
-	case Unsafe:
-		return "Unsafe"
-	case STTLd:
-		return "STT{ld}"
-	case STTLdFp:
-		return "STT{ld+fp}"
-	case StaticL1:
-		return "Static L1"
-	case StaticL2:
-		return "Static L2"
-	case StaticL3:
-		return "Static L3"
-	case Hybrid:
-		return "Hybrid"
-	case Perfect:
-		return "Perfect"
+	if s := schemeOf(v); s != nil {
+		return s.Name
 	}
 	return fmt.Sprintf("Variant(%d)", int(v))
 }
 
-// Description returns the Table II description column.
+// Description returns the scheme's one-line description (the Table II
+// description column for the paper's rows).
 func (v Variant) Description() string {
-	switch v {
-	case Unsafe:
-		return "An unmodified insecure processor"
-	case STTLd:
-		return "STT, delaying the execution of unsafe loads only"
-	case STTLdFp:
-		return "STT, delaying the execution of unsafe loads and fmult/div/fsqrt micro-ops"
-	case StaticL1:
-		return "SDO with predictor always predicting L1 D-Cache"
-	case StaticL2:
-		return "SDO with predictor always predicting L2"
-	case StaticL3:
-		return "SDO with predictor always predicting L3"
-	case Hybrid:
-		return "SDO with proposed hybrid location predictor (Section V-D)"
-	case Perfect:
-		return "SDO with oracle predictor always predicting the correct level"
+	if s := schemeOf(v); s != nil {
+		return s.Description
 	}
 	return ""
 }
 
 // IsSDO reports whether the variant runs Obl-Lds.
-func (v Variant) IsSDO() bool { return v >= StaticL1 && v <= Perfect }
+func (v Variant) IsSDO() bool {
+	s := schemeOf(v)
+	return s != nil && s.SDO
+}
 
-// ParseVariant maps a name (Table II spelling or a short alias) to a
-// Variant.
+// ParseVariant maps a name (registered spelling or a short alias) to a
+// Variant. Unknown names report the full list of valid scheme names —
+// the text surfaces verbatim in the simsvc HTTP 400 body.
 func ParseVariant(s string) (Variant, error) {
-	alias := map[string]Variant{
-		"unsafe": Unsafe, "stt": STTLd, "stt{ld}": STTLd, "sttld": STTLd,
-		"stt{ld+fp}": STTLdFp, "sttldfp": STTLdFp, "stt+fp": STTLdFp,
-		"static-l1": StaticL1, "static l1": StaticL1, "l1": StaticL1,
-		"static-l2": StaticL2, "static l2": StaticL2, "l2": StaticL2,
-		"static-l3": StaticL3, "static l3": StaticL3, "l3": StaticL3,
-		"hybrid": Hybrid, "perfect": Perfect,
-	}
-	if v, ok := alias[s]; ok {
-		return v, nil
-	}
-	for _, v := range Variants() {
-		if v.String() == s {
-			return v, nil
+	for i, info := range registry {
+		if info.Name == s {
+			return Variant(i), nil
+		}
+		for _, a := range info.Aliases {
+			if a == s {
+				return Variant(i), nil
+			}
 		}
 	}
-	return 0, fmt.Errorf("core: unknown variant %q", s)
+	return 0, fmt.Errorf("core: unknown variant %q (valid schemes: %s)", s, validNames())
 }
 
 // WarmupMode selects how Config.WarmupInstrs are executed.
@@ -249,34 +226,11 @@ func pipelineConfig(cfg Config, probe func(uint64) mem.Level) pipeline.Config {
 	}
 	pc.MaxCycles = cfg.MaxCycles
 	pc.Check = cfg.Check
-	switch cfg.Variant {
-	case Unsafe:
-		pc.Protection = pipeline.ProtNone
-		pc.FPTransmitters = false
-	case STTLd:
-		pc.Protection = pipeline.ProtSTT
-		pc.FPTransmitters = false
-	case STTLdFp:
-		pc.Protection = pipeline.ProtSTT
-		pc.FPTransmitters = true
-	default:
-		// All SDO configurations treat loads and FP micro-ops as
-		// transmitters with architected DO operations (§VIII-A).
-		pc.Protection = pipeline.ProtSDO
-		pc.FPTransmitters = true
-		switch cfg.Variant {
-		case StaticL1:
-			pc.LocPred = sdo.Static{Level: mem.L1}
-		case StaticL2:
-			pc.LocPred = sdo.Static{Level: mem.L2}
-		case StaticL3:
-			pc.LocPred = sdo.Static{Level: mem.L3}
-		case Hybrid:
-			pc.LocPred = sdo.NewHybrid(512) // ≈4KB of predictor state
-		case Perfect:
-			pc.LocPred = sdo.Perfect{Probe: probe}
-		}
+	s := schemeOf(cfg.Variant)
+	if s == nil {
+		panic(fmt.Sprintf("core: unregistered variant %d", int(cfg.Variant)))
 	}
+	s.Configure(&pc, probe)
 	return pc
 }
 

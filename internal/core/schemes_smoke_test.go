@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func TestShadowSchemesRunSmoke(t *testing.T) {
+	w, err := workload.ByName("mcf_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []Variant{SafeSpec, SpecBox} {
+		for _, m := range []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic} {
+			prog, init := w.Build()
+			mach := NewMachine(Config{Variant: v, Model: m, WarmupInstrs: 1000, MaxInstrs: 3000}, prog, init)
+			r, err := mach.Run()
+			if err != nil {
+				t.Fatalf("%v/%v: %v", v, m, err)
+			}
+			if r.Committed == 0 || r.Cycles == 0 {
+				t.Fatalf("%v/%v: empty result %+v", v, m, r)
+			}
+			h := mach.Hierarchy()
+			if h.SpecLoads == 0 {
+				t.Errorf("%v/%v: no loads took the shadow path", v, m)
+			}
+			if h.SpecCommits == 0 {
+				t.Errorf("%v/%v: no shadow fills promoted at commit", v, m)
+			}
+			t.Logf("%v/%v: cycles=%d committed=%d specLoads=%d hits=%d commits=%d discards=%d evict=%d tlbwalks=%d",
+				v, m, r.Cycles, r.Committed, h.SpecLoads, h.SpecShadowHits, h.SpecCommits, h.SpecDiscards, h.SpecEvictions, h.SpecTLBWalks)
+		}
+	}
+}

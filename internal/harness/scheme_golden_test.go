@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the scheme-refactor golden export")
+
+// schemeGoldenOptions is the pinned sweep the refactor-equivalence golden
+// was captured with: every Table II variant (all three protection modes and
+// all five predictors) over two behaviourally-distinct workloads under both
+// attack models. Small enough to run in CI, wide enough that any semantic
+// drift in the Unsafe/STT/STT+SDO paths changes some counter in some cell.
+func schemeGoldenOptions(t *testing.T) Options {
+	t.Helper()
+	var wls []workload.Workload
+	for _, name := range []string{"mcf_r", "x264_r"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wls = append(wls, w)
+	}
+	return Options{
+		WarmupInstrs: 3000,
+		MaxInstrs:    6000,
+		Workloads:    wls,
+		Variants:     core.Variants(),
+		Models:       []pipeline.AttackModel{pipeline.Spectre, pipeline.Futuristic},
+		Parallel:     true,
+	}
+}
+
+// TestSchemeRefactorGoldenExport pins the Unsafe/STT/STT+SDO behaviour
+// across the protection-scheme refactor: the export produced today must be
+// byte-identical to the snapshot captured before protection was extracted
+// into the pluggable Scheme interface. Any change to the legacy schemes'
+// cycle-level behaviour — intended or not — fails this test; regenerate
+// with -update only for a deliberate, documented semantics change.
+func TestSchemeRefactorGoldenExport(t *testing.T) {
+	res, err := Run(schemeGoldenOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "scheme_refactor_export.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("export diverges from the pre-refactor golden (%d bytes, want %d).\n"+
+			"The Unsafe/STT/STT+SDO schemes must stay byte-identical across the\n"+
+			"Scheme-interface refactor; run with -update only for a deliberate change.",
+			buf.Len(), len(want))
+	}
+}
+
+// TestGoldenVariantColumns guards the published expected_results.txt
+// against registry drift: the Table II sweep (core.Variants()) must keep
+// exactly the eight rows, named as the golden's column headers spell them.
+// New schemes join via core.Registered() without widening the default
+// sweep, so the full-budget golden stays reproducible from the same
+// command line.
+func TestGoldenVariantColumns(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "expected_results.txt"))
+	if err != nil {
+		t.Skipf("expected_results.txt unavailable: %v", err)
+	}
+	text := string(data)
+	vs := core.Variants()
+	if len(vs) != 8 {
+		t.Fatalf("core.Variants() has %d rows, the published golden has 8", len(vs))
+	}
+	header := "benchmark"
+	for _, v := range vs {
+		header += fmt.Sprintf("  %s", v.String())
+	}
+	// Every Figure 6 table header lists the variants in sweep order.
+	if !strings.Contains(strings.Join(strings.Fields(text), " "),
+		strings.Join(strings.Fields(header), " ")) {
+		t.Fatalf("expected_results.txt does not contain the Table II column sequence %q", header)
+	}
+}

@@ -101,6 +101,13 @@ type Hierarchy struct {
 
 	oblSeq uint64 // synthetic MSHR keys for non-merging Obl-Ld allocations
 
+	// Speculative-visibility shadow structures (spec.go): active only
+	// when a protection scheme selected a SpecMode.
+	specMode  SpecMode
+	spec      map[uint64]specEntry // line addr -> speculative fill
+	specTLB   map[uint64]uint64    // page -> fill seq (SpecShadow only)
+	specStamp uint64               // shadow LRU clock
+
 	// OnInvalidate, if set, is called when a line is invalidated in this
 	// core's private caches by an external request (coherence). The load
 	// queue registers here to detect consistency violations (§V-C1).
@@ -109,6 +116,14 @@ type Hierarchy struct {
 	// Stats.
 	OblLookups uint64
 	OblFound   uint64
+
+	// Speculative-shadow stats (spec.go).
+	SpecLoads      uint64 // loads routed through the shadow path
+	SpecShadowHits uint64 // served by an existing shadow entry
+	SpecCommits    uint64 // fills promoted to the committed hierarchy
+	SpecDiscards   uint64 // fills discarded by a squash
+	SpecEvictions  uint64 // bounded-shadow capacity evictions (SpecShadow)
+	SpecTLBWalks   uint64 // shadow-TLB walks (SpecShadow)
 }
 
 // NewHierarchy is a convenience for single-core use: it builds a Shared
@@ -385,6 +400,7 @@ func (h *Hierarchy) Flush(addr uint64) {
 	for _, sl := range h.shared.slices {
 		sl.Invalidate(addr)
 	}
+	h.specFlush(addr)
 }
 
 // Translate runs the normal TLB path (LRU update, walk on miss).
@@ -405,6 +421,7 @@ func (h *Hierarchy) TLBProbe(addr uint64) bool { return h.tlb.Probe(addr) }
 func (h *Hierarchy) Invalidate(lineAddr uint64) {
 	h.l1d.Invalidate(lineAddr)
 	h.l2.Invalidate(lineAddr)
+	h.specInvalidate(lineAddr)
 	// The listener is notified even when the line was not present in the
 	// private caches: loads may have read the line obliviously without
 	// caching it (the missed-invalidation problem, §V-C1 — exactly why

@@ -1,0 +1,218 @@
+package mem
+
+import "testing"
+
+// specHierarchy returns a hierarchy in the given speculative mode.
+func specHierarchy(m SpecMode) *Hierarchy {
+	h := NewHierarchy(testConfig())
+	h.SetSpecMode(m)
+	return h
+}
+
+func TestSpecLoadInvisibleToCommittedState(t *testing.T) {
+	for _, m := range []SpecMode{SpecShadow, SpecLabel} {
+		h := specHierarchy(m)
+		addr := uint64(0x40000)
+		r := h.SpecLoad(0, addr, 10)
+		if r.Level != LevelMem {
+			t.Fatalf("%v: cold spec load level = %v, want mem", m, r.Level)
+		}
+		if h.Probe(addr) != LevelMem {
+			t.Fatalf("%v: spec load leaked into committed caches (probe=%v)", m, h.Probe(addr))
+		}
+		// A second committed-path load still pays the full miss: the shadow
+		// fill is invisible to the committed walk.
+		if got := h.Load(100_000, addr); got.Level != LevelMem {
+			t.Fatalf("%v: committed load after spec fill hit %v, want mem", m, got.Level)
+		}
+	}
+}
+
+func TestSpecLoadShadowHitTiming(t *testing.T) {
+	h := specHierarchy(SpecShadow)
+	addr := uint64(0x40000)
+	h.SpecLoad(0, addr, 10)
+	// Re-access far later (no bank conflicts): shadow hit at L1 timing.
+	r := h.SpecLoad(50_000, addr, 11)
+	if r.Level != L1 || r.Done != 50_000+uint64(h.cfg.L1D.Latency) {
+		t.Fatalf("shadow hit: level=%v done=%d, want L1/+%d", r.Level, r.Done-50_000, h.cfg.L1D.Latency)
+	}
+	if h.SpecShadowHits != 1 {
+		t.Fatalf("SpecShadowHits = %d, want 1", h.SpecShadowHits)
+	}
+}
+
+// TestSpecLoadTimingIsRowStateBlind checks the constant-DRAM rule: two
+// spec misses to the same DRAM row cost the same as two to different
+// rows, so row-buffer state opened by transient accesses teaches a
+// same-core prober nothing.
+func TestSpecLoadTimingIsRowStateBlind(t *testing.T) {
+	h := specHierarchy(SpecShadow)
+	r1 := h.SpecLoad(0, 0x100000, 10)
+	r2 := h.SpecLoad(50_000, 0x100000+4096, 11) // same 8KB row
+	h2 := specHierarchy(SpecShadow)
+	r3 := h2.SpecLoad(0, 0x100000, 10)
+	r4 := h2.SpecLoad(50_000, 0x900000, 11) // different row
+	if r2.Done-50_000 != r4.Done-50_000 || r1.Done != r3.Done {
+		t.Fatalf("spec miss latency depends on DRAM row state: same-row %d/%d, cross-row %d/%d",
+			r1.Done, r2.Done-50_000, r3.Done, r4.Done-50_000)
+	}
+}
+
+func TestSpecLoadIsTagOnlyOnCommitted(t *testing.T) {
+	h := specHierarchy(SpecLabel)
+	hot := uint64(0x40)
+	h.Load(0, hot) // committed: now in L1
+	// A spec load of a committed-hot line reports its true level but must
+	// not refresh committed LRU state. Fill enough conflicting committed
+	// lines to evict, then verify the hot line actually left L1.
+	if r := h.SpecLoad(10_000, hot, 5); r.Level != L1 {
+		t.Fatalf("spec load of L1-hot line: level %v", r.Level)
+	}
+	if h.SpecLoads != 1 || h.SpecShadowHits != 0 {
+		t.Fatalf("counters: loads=%d hits=%d", h.SpecLoads, h.SpecShadowHits)
+	}
+}
+
+func TestCommitSpecPromotes(t *testing.T) {
+	for _, m := range []SpecMode{SpecShadow, SpecLabel} {
+		h := specHierarchy(m)
+		addr := uint64(0x40000)
+		h.SpecLoad(0, addr, 10)
+		h.CommitSpec(addr, 10)
+		if h.Probe(addr) != L1 {
+			t.Fatalf("%v: after commit, probe = %v, want L1", m, h.Probe(addr))
+		}
+		if len(h.SpecContents()) != 0 {
+			t.Fatalf("%v: shadow entry not released at commit", m)
+		}
+		if h.SpecCommits != 1 {
+			t.Fatalf("%v: SpecCommits = %d, want 1", m, h.SpecCommits)
+		}
+	}
+}
+
+func TestSquashSpecDiscards(t *testing.T) {
+	h := specHierarchy(SpecShadow)
+	h.SpecLoad(0, 0x40000, 10)
+	h.SpecLoad(100, 0x50000, 20)
+	h.SquashSpec(15) // squash from seq 15: keeps 10, drops 20
+	if n := len(h.SpecContents()); n != 1 {
+		t.Fatalf("after squash, %d shadow lines, want 1", n)
+	}
+	if h.SpecDiscards != 1 {
+		t.Fatalf("SpecDiscards = %d, want 1", h.SpecDiscards)
+	}
+	// The squashed line left no committed trace and no shadow trace: a
+	// later spec load of it walks to memory again.
+	if r := h.SpecLoad(50_000, 0x50000, 30); r.Level != LevelMem {
+		t.Fatalf("squashed line still visible: level %v", r.Level)
+	}
+}
+
+func TestShadowBounded(t *testing.T) {
+	h := specHierarchy(SpecShadow)
+	for i := 0; i < shadowLines+8; i++ {
+		h.SpecLoad(uint64(i)*1000, uint64(0x100000+i*64), uint64(i+1))
+	}
+	if n := len(h.SpecContents()); n != shadowLines {
+		t.Fatalf("shadow holds %d lines, want bounded at %d", n, shadowLines)
+	}
+	if h.SpecEvictions != 8 {
+		t.Fatalf("SpecEvictions = %d, want 8", h.SpecEvictions)
+	}
+	// SpecLabel is unbounded (labels live in the arrays themselves).
+	h2 := specHierarchy(SpecLabel)
+	for i := 0; i < shadowLines+8; i++ {
+		h2.SpecLoad(uint64(i)*1000, uint64(0x100000+i*64), uint64(i+1))
+	}
+	if n := len(h2.SpecContents()); n != shadowLines+8 {
+		t.Fatalf("label store holds %d lines, want %d", n, shadowLines+8)
+	}
+}
+
+func TestSpecTranslateShadowTLB(t *testing.T) {
+	h := specHierarchy(SpecShadow)
+	addr := uint64(0x40000)
+	// Cold page: committed TLB miss, walk into the shadow TLB.
+	done, hit := h.SpecTranslate(0, addr, 10)
+	if hit || done != uint64(h.cfg.TLB.WalkCycles) {
+		t.Fatalf("cold spec translate: hit=%v done=%d, want miss/+%d", hit, done, h.cfg.TLB.WalkCycles)
+	}
+	if h.SpecTLBWalks != 1 {
+		t.Fatalf("SpecTLBWalks = %d, want 1", h.SpecTLBWalks)
+	}
+	// Same page again: shadow TLB hit, free.
+	if done, hit = h.SpecTranslate(100, addr, 11); !hit || done != 100 {
+		t.Fatalf("shadow TLB re-hit: hit=%v done=%d", hit, done)
+	}
+	// The committed TLB saw nothing: a committed translate still walks.
+	if _, chit := h.tlb.Translate(200, addr); chit {
+		t.Fatal("speculative walk leaked into the committed TLB")
+	}
+}
+
+func TestSpecTranslateCommitInstallsTLB(t *testing.T) {
+	h := specHierarchy(SpecShadow)
+	addr := uint64(0x40000)
+	h.SpecTranslate(0, addr, 10)
+	h.SpecLoad(10, addr, 10)
+	h.CommitSpec(addr, 10)
+	// Promotion installed the page: committed translate now hits.
+	if _, hit := h.tlb.Translate(1000, addr); !hit {
+		t.Fatal("commit did not install the page in the committed TLB")
+	}
+}
+
+func TestSquashPrunesShadowTLB(t *testing.T) {
+	h := specHierarchy(SpecShadow)
+	h.SpecTranslate(0, 0x40000, 10)
+	h.SquashSpec(5)
+	// The shadow TLB entry died with the squash: the next spec translate
+	// walks again.
+	if _, hit := h.SpecTranslate(100, 0x40000, 20); hit {
+		t.Fatal("shadow TLB entry survived the squash")
+	}
+	if h.SpecTLBWalks != 2 {
+		t.Fatalf("SpecTLBWalks = %d, want 2", h.SpecTLBWalks)
+	}
+}
+
+func TestSpecLabelUsesNormalTLB(t *testing.T) {
+	h := specHierarchy(SpecLabel)
+	addr := uint64(0x40000)
+	// SpecBox shields caches only: translation is the normal TLB path and
+	// installs into the committed TLB.
+	h.SpecTranslate(0, addr, 10)
+	if _, hit := h.tlb.Translate(1000, addr); !hit {
+		t.Fatal("SpecLabel translate should use (and fill) the committed TLB")
+	}
+	if h.SpecTLBWalks != 0 {
+		t.Fatalf("SpecTLBWalks = %d, want 0 under SpecLabel", h.SpecTLBWalks)
+	}
+}
+
+func TestFlushReachesShadow(t *testing.T) {
+	h := specHierarchy(SpecShadow)
+	addr := uint64(0x40000)
+	h.SpecLoad(0, addr, 10)
+	h.Flush(addr)
+	if n := len(h.SpecContents()); n != 0 {
+		t.Fatalf("flushed line lingers in the shadow (%d entries)", n)
+	}
+}
+
+func TestSpecResetOnSetState(t *testing.T) {
+	h := specHierarchy(SpecShadow)
+	h.SpecLoad(0, 0x40000, 10)
+	h.SpecTranslate(0, 0x40000, 10)
+	if err := h.SetState(specHierarchy(SpecShadow).State()); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.SpecContents()) != 0 {
+		t.Fatal("checkpoint restore kept shadow lines; the shadow is transient")
+	}
+	if _, hit := h.SpecTranslate(100, 0x40000, 20); hit {
+		t.Fatal("checkpoint restore kept shadow TLB entries")
+	}
+}

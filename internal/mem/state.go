@@ -269,6 +269,9 @@ func (h *Hierarchy) SetState(s HierState) error {
 		return err
 	}
 	h.OblLookups, h.OblFound = s.OblLookups, s.OblFound
+	// Shadow fills are transient speculation; a restored machine starts
+	// with an empty shadow, like one that warmed up in place.
+	h.specReset()
 	return nil
 }
 

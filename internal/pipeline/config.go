@@ -91,7 +91,11 @@ type Config struct {
 	MemPorts int // AGU/cache ports shared by loads and stores
 
 	Protection Protection
-	Model      AttackModel
+	// Scheme, when non-nil, selects the protection scheme directly; nil
+	// derives it from the legacy Protection enum (schemeFor), so Configs
+	// that predate the Scheme interface behave unchanged.
+	Scheme Scheme
+	Model  AttackModel
 	// FPTransmitters treats fmul/fdiv/fsqrt as transmitters (STT{ld+fp}
 	// and all SDO configurations, per §VIII-A).
 	FPTransmitters bool

@@ -18,6 +18,11 @@ type Core struct {
 	port MemPort
 	bp   *bpred.Predictor
 
+	scheme      Scheme      // active protection scheme (never nil)
+	schemeTaint bool        // cached scheme.TracksTaint()
+	specPort    SpecMemPort // non-nil when specActive
+	specActive  bool        // scheme.SpecMode() != SpecOff
+
 	regs      [isa.NumRegs]uint64
 	renameMap [isa.NumRegs]int64 // producer seq, -1 = committed regfile
 
@@ -75,19 +80,34 @@ func New(cfg Config, prog *isa.Program, data *isa.Memory, port MemPort) *Core {
 	if cfg.Width <= 0 {
 		panic("pipeline: config must come from DefaultConfig")
 	}
-	if cfg.Protection == ProtSDO && cfg.LocPred == nil {
+	if cfg.Scheme == nil {
+		cfg.Scheme = schemeFor(cfg.Protection)
+	}
+	if _, sdo := cfg.Scheme.(schemeSDO); sdo && cfg.LocPred == nil {
 		panic("pipeline: ProtSDO requires a location predictor")
 	}
 	if cfg.WatchdogCycles == 0 {
 		cfg.WatchdogCycles = 200_000
 	}
 	c := &Core{
-		cfg:  cfg,
-		prog: prog,
-		data: data,
-		port: port,
-		bp:   bpred.New(cfg.BP),
-		rob:  make([]robEntry, cfg.ROBSize),
+		cfg:    cfg,
+		prog:   prog,
+		data:   data,
+		port:   port,
+		bp:     bpred.New(cfg.BP),
+		rob:    make([]robEntry, cfg.ROBSize),
+		scheme: cfg.Scheme,
+	}
+	c.schemeTaint = c.scheme.TracksTaint()
+	if m := c.scheme.SpecMode(); m != mem.SpecOff {
+		sp, ok := port.(SpecMemPort)
+		if !ok {
+			panic(fmt.Sprintf("pipeline: scheme %s needs a SpecMemPort; %T does not implement it",
+				c.scheme.Name(), port))
+		}
+		sp.SetSpecMode(m)
+		c.specPort = sp
+		c.specActive = true
 	}
 	for i := range c.renameMap {
 		c.renameMap[i] = -1

@@ -68,37 +68,10 @@ func (c *Core) issueFP(e *robEntry) bool {
 	}
 	isTx := e.in.Op.IsFPTransmitter() && c.cfg.FPTransmitters
 	if isTx && c.tainted(root) {
-		switch c.cfg.Protection {
-		case ProtSTT:
-			// STT{ld+fp}: delay the transmitter until its operands untaint.
-			if e.delayedSince == 0 {
-				e.delayedSince = c.cycle
-				c.stats.DelayedFPs++
-			}
-			c.stats.FPDelayCycles++
-			return false
-		case ProtSDO:
-			if c.fpPortsBusy >= c.cfg.FPUnits {
-				return false
-			}
-			c.fpPortsBusy++
-			// §I-A: statically predict "normal" and execute the fast DO
-			// variant. The operation fails if the operands/result are
-			// actually subnormal; resolution happens once args untaint.
-			e.destVal = isa.EvalALU(e.in, vals[0], vals[1], c.cycle)
-			e.destRoot = root
-			e.fpSDO = true
-			e.fpArgs = [2]uint64{vals[0], vals[1]}
-			e.fpFail = isa.FPSlowPath(e.in.Op, vals[0], vals[1], e.destVal)
-			e.doneAt = c.cycle + opLatency(e.in, vals[0], vals[1], e.destVal, true)
-			e.state = stExecuting
-			c.stats.FPSDOIssued++
-			if c.obs.On(obs.ClassFP) {
-				c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassFP, Kind: "fp-sdo-issue",
-					Seq: e.seq, PC: e.pc, Dur: e.doneAt - c.cycle,
-					Detail: fmt.Sprintf("seq=%d pc=%d %v will-fail=%v", e.seq, e.pc, e.in, e.fpFail)})
-			}
-			return true
+		// The scheme's transmitter rule (STT delay, SDO fast-path DO
+		// execution); handled=false falls through to the normal path.
+		if issued, handled := c.scheme.IssueTaintedFP(c, e, vals, root); handled {
+			return issued
 		}
 	}
 	if c.fpPortsBusy >= c.cfg.FPUnits {

@@ -49,7 +49,7 @@ func (c *Core) sqSearch(e *robEntry) (val uint64, fwdSeq int64, fwdOK, stall boo
 		if !s.addrValid {
 			continue // speculate past unknown store addresses
 		}
-		if c.cfg.Protection != ProtNone && c.tainted(s.addrRoot) {
+		if c.schemeTaint && c.tainted(s.addrRoot) {
 			continue // tainted address: treated as unknown (see above)
 		}
 		sa, ss := s.addr, accessSize(s.in.Op)
@@ -68,10 +68,11 @@ func (c *Core) sqSearch(e *robEntry) (val uint64, fwdSeq int64, fwdOK, stall boo
 	return 0, -1, false, false
 }
 
-// issueLoad handles a load leaving the issue queue. It applies the
-// protection policy: Unsafe loads and untainted loads take the normal
-// path; tainted loads are delayed under STT, or issued as Obl-Lds under
-// SDO (reverting to delay when the predictor says DRAM).
+// issueLoad handles a load leaving the issue queue: once the address
+// resolves, the active protection scheme decides the path — normal fill
+// (Unsafe and untainted loads), STT delay, SDO Obl-Ld (reverting to
+// delay when the predictor says DRAM), or a shadow fill (SafeSpec /
+// SpecBox).
 func (c *Core) issueLoad(e *robEntry) bool {
 	v, ok, root := c.operandInfo(e.src[0])
 	if !ok {
@@ -80,38 +81,7 @@ func (c *Core) issueLoad(e *robEntry) bool {
 	e.addr = v + uint64(e.in.Imm)
 	e.addrValid = true
 	e.addrRoot = root
-
-	if c.cfg.Protection != ProtNone && c.tainted(root) {
-		if c.cfg.Protection == ProtSTT {
-			if e.delayedSince == 0 {
-				e.delayedSince = c.cycle
-				c.stats.DelayedLoads++
-			}
-			c.stats.LoadDelayCycles++
-			return false
-		}
-		// SDO: predict a level and issue an Obl-Ld.
-		pred := c.cfg.LocPred.Predict(c.pcAddr(e.pc), e.addr)
-		if pred == mem.LevelNone {
-			pred = mem.LevelMem
-		}
-		if pred == mem.LevelMem && c.cfg.OblDRAMVariant {
-			// Ablation: the architected DO DRAM variant (§VI-B2).
-			return c.issueOblLoad(e, mem.LevelMem)
-		}
-		if pred == mem.LevelMem {
-			// §VI-B2: predicted-DRAM loads revert to STT delay.
-			if e.delayedSince == 0 {
-				e.delayedSince = c.cycle
-				e.oblMemDelayed = true
-				c.stats.OblPredMem++
-			}
-			c.stats.LoadDelayCycles++
-			return false
-		}
-		return c.issueOblLoad(e, pred)
-	}
-	return c.issueNormalLoad(e)
+	return c.scheme.IssueLoad(c, e)
 }
 
 func (c *Core) issueNormalLoad(e *robEntry) bool {
@@ -147,6 +117,42 @@ func (c *Core) issueNormalLoad(e *robEntry) bool {
 		// so it can unlearn "DRAM" when the line becomes cached.
 		c.cfg.LocPred.Update(c.pcAddr(e.pc), r.Level)
 	}
+	return true
+}
+
+// issueSpecLoad issues a load under a shadow-structure scheme (SafeSpec
+// / SpecBox): it may read any committed level tag-only, but its fill
+// lands in the speculative shadow (mem/spec.go) and reaches the
+// committed hierarchy only when the load retires (Scheme.OnCommit) —
+// squashed fills are discarded without a trace.
+func (c *Core) issueSpecLoad(e *robEntry) bool {
+	fv, fwdSeq, fwdOK, stall := c.sqSearch(e)
+	if stall {
+		return false
+	}
+	if c.memPortsBusy >= c.cfg.MemPorts {
+		return false
+	}
+	c.memPortsBusy++
+	c.stats.Loads++
+	e.destRoot = e.seq
+	if fwdOK {
+		e.destVal = fv
+		e.sqForward = fwdSeq
+		e.memLevel = mem.L1 // store-queue forward: L1-equivalent timing
+		e.doneAt = c.cycle + 1
+		e.state = stExecuting
+		c.emitIssueLoad(e)
+		return true
+	}
+	tdone, _ := c.specPort.SpecTranslate(c.cycle, e.addr, e.seq)
+	r := c.specPort.SpecLoad(tdone, e.addr, e.seq)
+	e.destVal = c.readMem(e)
+	e.memLevel = r.Level
+	e.doneAt = r.Done
+	e.specFill = true
+	e.state = stExecuting
+	c.emitIssueLoad(e)
 	return true
 }
 
@@ -272,7 +278,7 @@ func (c *Core) checkStoreViolation(s *robEntry) {
 	if victim.addrRoot > root {
 		root = victim.addrRoot
 	}
-	if c.cfg.Protection != ProtNone && !c.cfg.NoImplicitChannelProtection && c.tainted(root) {
+	if c.schemeTaint && !c.cfg.NoImplicitChannelProtection && c.tainted(root) {
 		victim.pendingSq = true
 		c.parked = append(c.parked, parkedSquash{
 			from: victim.seq, root: root, cause: sqMemOrder, refetch: victim.pc,
@@ -298,7 +304,7 @@ func (c *Core) onInvalidate(lineAddr uint64) {
 			if e.pendingSq {
 				continue
 			}
-			if c.cfg.Protection == ProtNone || c.cfg.NoImplicitChannelProtection {
+			if !c.schemeTaint || c.cfg.NoImplicitChannelProtection {
 				c.squash(e.seq, sqConsistency, e.pc)
 				return
 			}

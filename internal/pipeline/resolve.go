@@ -116,7 +116,7 @@ func (c *Core) resolveBranches() {
 		if !e.in.Op.IsCondBranch() || !e.resolved || e.effectApplied {
 			continue
 		}
-		if c.cfg.Protection != ProtNone && !c.cfg.NoImplicitChannelProtection && c.tainted(e.destRoot) {
+		if c.schemeTaint && !c.cfg.NoImplicitChannelProtection && c.tainted(e.destRoot) {
 			if e.delayedSince == 0 {
 				e.delayedSince = c.cycle
 				c.stats.DelayedResolutions++
@@ -228,6 +228,10 @@ func (c *Core) squash(from uint64, cause squashCause, refetch int) {
 		c.tailSeq = from
 	}
 
+	if c.specActive {
+		c.scheme.OnSquash(c, from)
+	}
+
 	// The frontend redirect happens even when no ROB entry is younger than
 	// the squash point: wrong-path instructions may still sit in the fetch
 	// buffer.
@@ -322,6 +326,9 @@ func (c *Core) commit() {
 			c.obs.Emit(obs.Event{Cycle: c.cycle, Class: obs.ClassCommit, Kind: "commit",
 				Seq: e.seq, PC: e.pc,
 				Detail: fmt.Sprintf("seq=%d pc=%d %v val=%#x", e.seq, e.pc, e.in, e.destVal)})
+		}
+		if c.specActive {
+			c.scheme.OnCommit(c, e)
 		}
 		c.headSeq++
 		c.stats.Committed++

@@ -91,6 +91,7 @@ type robEntry struct {
 	sqDataReady bool
 	sqForward   int64 // load: seq of forwarding store, -1 if from memory
 	memLevel    mem.Level
+	specFill    bool // load filled the speculative shadow (promote at commit)
 
 	// Obl-Ld state machine (§V-C2 / §VI-A fields).
 	obl           oblState

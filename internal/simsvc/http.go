@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -25,6 +26,8 @@ import (
 //	GET    /sweeps/{id}/trace    span-tree trace JSON (?format=chrome for the
 //	                             Chrome trace-event form); registered only
 //	                             with tracing enabled
+//	GET    /variants             registered protection schemes: name,
+//	                             aliases, one-line description
 //	GET    /debug/flight         flight recorder: the last N observability
 //	                             events plus the binary's build identity
 //	GET    /healthz              liveness probe: Health JSON; 200 while
@@ -58,8 +61,33 @@ func (s *Service) Handler() http.Handler {
 		// untraced server's API surface is unchanged.
 		mux.HandleFunc("GET /sweeps/{id}/trace", s.handleTrace)
 	}
+	mux.HandleFunc("GET /variants", s.handleVariants)
 	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	return mux
+}
+
+// VariantInfo is one /variants row: a registered protection scheme as
+// sweep submissions may name it.
+type VariantInfo struct {
+	Name        string   `json:"name"`
+	Aliases     []string `json:"aliases,omitempty"`
+	Description string   `json:"description"`
+	SDO         bool     `json:"sdo,omitempty"`
+	TableII     bool     `json:"table2,omitempty"`
+}
+
+// handleVariants lists the registered protection schemes — the open
+// registry sdoctl and sweep authors discover valid variant names from.
+func (s *Service) handleVariants(w http.ResponseWriter, r *http.Request) {
+	schemes := core.Schemes()
+	out := make([]VariantInfo, 0, len(schemes))
+	for _, sc := range schemes {
+		out = append(out, VariantInfo{
+			Name: sc.Name, Aliases: sc.Aliases, Description: sc.Description,
+			SDO: sc.SDO, TableII: sc.TableII,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -42,7 +42,13 @@ import (
 // measurement, so it must never answer a detailed query (or vice versa),
 // and two sampled runs with different sampling parameters are distinct
 // entries. The same schema keys the sample-plan tier (Service.samplePlan).
-const keySchema = "sdo-cache-v4"
+// v5: the variant is keyed by its registered scheme NAME instead of its
+// integer id. Variant ids beyond Table II are registration-order
+// dependent (core.RegisterScheme), so a build that registers schemes in
+// a different order must not alias another build's entries; names are
+// order-independent. Old v4 entries are invalidated (never corrupted) —
+// the schema string feeds the hash, so v4 and v5 keys cannot collide.
+const keySchema = "sdo-cache-v5"
 
 // RunSpec identifies one simulation cell, in the exact terms the cache
 // key is derived from.
@@ -117,16 +123,17 @@ func programFingerprint(name string) (string, error) {
 
 // CacheKey derives the content-addressed cache key: a SHA-256 over the
 // canonical encoding of everything that determines a run's result —
-// workload identity (name + program fingerprint), Table II variant,
-// attack model, warmup and measurement budgets, and the ablation flags.
+// workload identity (name + program fingerprint), the registered
+// protection scheme (by name, see the v5 note above), attack model,
+// warmup and measurement budgets, and the ablation flags.
 func (s RunSpec) CacheKey() (string, error) {
 	fp, err := programFingerprint(s.Workload)
 	if err != nil {
 		return "", err
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|wl=%s|prog=%s|variant=%d|model=%d|warmup=%d|max=%d|interval=%d|wmode=%d|ablate=%t,%t,%t,%t|sim=%s|sinterval=%d|smaxk=%d|sseed=%d",
-		keySchema, s.Workload, fp, int(s.Variant), int(s.Model),
+	fmt.Fprintf(h, "%s|wl=%s|prog=%s|scheme=%s|model=%d|warmup=%d|max=%d|interval=%d|wmode=%d|ablate=%t,%t,%t,%t|sim=%s|sinterval=%d|smaxk=%d|sseed=%d",
+		keySchema, s.Workload, fp, s.Variant.String(), int(s.Model),
 		s.WarmupInstrs, s.MaxInstrs, s.IntervalCycles, int(s.WarmupMode),
 		s.Ablate.DisableEarlyForward, s.Ablate.AlwaysValidate,
 		s.Ablate.NoImplicitChannelProtection, s.Ablate.OblDRAMVariant,
