@@ -27,6 +27,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +35,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/obs/trace"
@@ -159,19 +161,61 @@ func (c *client) fail(err error) int {
 	return 1
 }
 
+// Transient-connection retry policy for idempotent GETs: a server that
+// is restarting (resuming its journal) or briefly unreachable answers
+// with connection refused/reset, and retrying is strictly better than
+// failing the invocation. POST/DELETE are never retried — a submit that
+// half-landed must not be replayed.
+var (
+	retryAttempts  = 4
+	retryBaseDelay = 250 * time.Millisecond
+	retryMaxDelay  = 2 * time.Second
+)
+
+// transientConnErr reports whether err looks like a connection-level
+// failure worth retrying (refused, reset, or the connection dying before
+// a response) rather than a definitive answer from the server.
+func transientConnErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "connection refused") || strings.Contains(msg, "connection reset")
+}
+
 // do performs one request; any non-2xx response becomes an error carrying
-// the server's message (and Retry-After hint on 429).
+// the server's message (and Retry-After hint on 429). Idempotent GETs are
+// retried on transient connection errors with capped exponential backoff.
 func (c *client) do(method, path string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequest(method, c.base+path, body)
-	if err != nil {
-		return nil, err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
+	var resp *http.Response
+	var err error
+	delay := retryBaseDelay
+	for attempt := 1; ; attempt++ {
+		var req *http.Request
+		req, err = http.NewRequest(method, c.base+path, body)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err = c.hc.Do(req)
+		if err == nil {
+			break
+		}
+		if method != http.MethodGet || attempt >= retryAttempts || !transientConnErr(err) {
+			return nil, err
+		}
+		fmt.Fprintf(c.errw, "sdoctl: %s %s: %v (retrying in %s, attempt %d/%d)\n",
+			method, path, err, delay, attempt, retryAttempts)
+		time.Sleep(delay)
+		if delay *= 2; delay > retryMaxDelay {
+			delay = retryMaxDelay
+		}
 	}
 	if resp.StatusCode >= 300 {
 		b, _ := io.ReadAll(resp.Body)

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// flakyTransport refuses the first n connections, then hands off to the
+// real transport — the shape of a server that is restarting.
+type flakyTransport struct {
+	refusals atomic.Int32
+	limit    int32
+	next     http.RoundTripper
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.refusals.Add(1) <= f.limit {
+		return nil, syscall.ECONNREFUSED
+	}
+	return f.next.RoundTrip(req)
+}
+
+func fastRetries(t *testing.T) {
+	t.Helper()
+	base, max := retryBaseDelay, retryMaxDelay
+	retryBaseDelay, retryMaxDelay = time.Millisecond, 4*time.Millisecond
+	t.Cleanup(func() { retryBaseDelay, retryMaxDelay = base, max })
+}
+
+func TestGetRetriesTransientConnectionErrors(t *testing.T) {
+	fastRetries(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+
+	ft := &flakyTransport{limit: 2, next: http.DefaultTransport}
+	var out, errw bytes.Buffer
+	c := &client{base: srv.URL, out: &out, errw: &errw, hc: http.Client{Transport: ft}}
+	if code := c.showJSON("/healthz"); code != 0 {
+		t.Fatalf("GET through a flaky connection: exit %d, stderr %q", code, errw.String())
+	}
+	if !strings.Contains(out.String(), `"ok"`) {
+		t.Fatalf("missing response body: %q", out.String())
+	}
+	if got := strings.Count(errw.String(), "retrying"); got != 2 {
+		t.Fatalf("stderr shows %d retries, want 2:\n%s", got, errw.String())
+	}
+}
+
+func TestGetGivesUpAfterRetryBudget(t *testing.T) {
+	fastRetries(t)
+	ft := &flakyTransport{limit: 1 << 30, next: http.DefaultTransport}
+	var out, errw bytes.Buffer
+	c := &client{base: "http://127.0.0.1:1", out: &out, errw: &errw, hc: http.Client{Transport: ft}}
+	if code := c.showJSON("/healthz"); code != 1 {
+		t.Fatalf("permanently refused GET: exit %d, want 1", code)
+	}
+	if n := ft.refusals.Load(); n != int32(retryAttempts) {
+		t.Fatalf("dialed %d times, want exactly the retry budget %d", n, retryAttempts)
+	}
+}
+
+func TestPostIsNeverRetried(t *testing.T) {
+	fastRetries(t)
+	ft := &flakyTransport{limit: 1 << 30, next: http.DefaultTransport}
+	var out, errw bytes.Buffer
+	c := &client{base: "http://127.0.0.1:1", out: &out, errw: &errw, hc: http.Client{Transport: ft}}
+	if _, err := c.do(http.MethodPost, "/sweeps", strings.NewReader("{}")); err == nil {
+		t.Fatal("refused POST did not error")
+	}
+	if n := ft.refusals.Load(); n != 1 {
+		t.Fatalf("POST dialed %d times, want 1 (submissions must not replay)", n)
+	}
+}
+
+func TestNonTransientErrorIsNotRetried(t *testing.T) {
+	fastRetries(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "unknown sweep", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	var hits atomic.Int32
+	counting := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		hits.Add(1)
+		return http.DefaultTransport.RoundTrip(req)
+	})
+	var out, errw bytes.Buffer
+	c := &client{base: srv.URL, out: &out, errw: &errw, hc: http.Client{Transport: counting}}
+	if code := c.showJSON("/sweeps/sweep-9"); code != 1 {
+		t.Fatalf("404 GET: exit %d, want 1", code)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("404 dialed %d times, want 1 (an HTTP answer is definitive)", hits.Load())
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

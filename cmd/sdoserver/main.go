@@ -29,6 +29,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,8 +64,32 @@ func main() {
 		traceOn   = flag.Bool("trace", false, "record a span tree per sweep cell, served at GET /sweeps/{id}/trace and embedded in exports")
 		traceJobs = flag.Int("trace-jobs", 0, "job traces retained (0: default 64)")
 		flightN   = flag.Int("flight", 0, "flight-recorder ring size at GET /debug/flight (0: default 256)")
+
+		journal = flag.String("journal", "", "job-journal file for durable resumable sweeps (default: <cache>.jobs when -cache is set; \"off\" disables)")
+
+		peers         = flag.String("peers", "", "comma-separated peer base URLs for cache peering, e.g. http://10.0.0.2:8344,http://10.0.0.3:8344")
+		peerTimeout   = flag.Duration("peer-timeout", 0, "per-request peer lookup deadline (0: default 2s)")
+		peerHedge     = flag.Duration("peer-hedge", 0, "hedge a peer lookup to the next-ranked peer after this delay (0: default 75ms)")
+		peerProbe     = flag.Duration("peer-probe", 0, "peer health-probe period (0: default 5s; negative: off)")
+		peerMaxFanout = flag.Int("peer-fanout", 0, "max peers consulted per lookup (0: default 2)")
 	)
 	flag.Parse()
+
+	// Resumable jobs ride alongside the result cache by default: the
+	// journal is only useful when the cache that re-derives surviving
+	// cells also persists.
+	if *journal == "" && *cache != "" {
+		*journal = *cache + ".jobs"
+	}
+	if *journal == "off" {
+		*journal = ""
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
 
 	inj, err := faults.Parse(*faultSpec)
 	if err == nil && inj == nil {
@@ -98,6 +123,14 @@ func main() {
 		Trace:           *traceOn,
 		TraceMaxJobs:    *traceJobs,
 		FlightEvents:    *flightN,
+
+		JournalPath: *journal,
+
+		Peers:             peerList,
+		PeerTimeout:       *peerTimeout,
+		PeerHedgeDelay:    *peerHedge,
+		PeerProbeInterval: *peerProbe,
+		PeerMaxFanout:     *peerMaxFanout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdoserver:", err)
@@ -105,6 +138,18 @@ func main() {
 	}
 	if n := svc.Cache().Len(); n > 0 {
 		fmt.Fprintf(os.Stderr, "sdoserver: loaded %d cached results from %s\n", n, *cache)
+	}
+	if *journal != "" {
+		h := svc.Health()
+		if h.ResumingJobs > 0 {
+			fmt.Fprintf(os.Stderr, "sdoserver: resuming %d interrupted sweep(s) from %s (healthz: degraded until replay completes)\n",
+				h.ResumingJobs, *journal)
+		} else {
+			fmt.Fprintf(os.Stderr, "sdoserver: job journal at %s (sweeps survive restarts)\n", *journal)
+		}
+	}
+	if len(peerList) > 0 {
+		fmt.Fprintf(os.Stderr, "sdoserver: cache peering with %d peer(s): %s\n", len(peerList), strings.Join(peerList, ", "))
 	}
 	if *speculate {
 		fmt.Fprintln(os.Stderr, "sdoserver: speculative pre-execution enabled (status at GET /spec)")

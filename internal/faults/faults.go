@@ -84,6 +84,17 @@ type Config struct {
 	CacheWriteErrProb float64
 	// DiskFullPersists fails the first N cache persists with ErrDiskFull.
 	DiskFullPersists int
+	// JournalErrProb fails job-journal appends (the write-ahead record is
+	// lost before the fsync, simulating a crash between write and sync).
+	JournalErrProb float64
+	// PeerErrProb fails peer cache lookups outright (connection-level
+	// failure); PeerSlowProb/PeerSlowDelay delay a peer response (exercises
+	// hedging and timeouts); PeerCorruptProb corrupts a peer response body
+	// (exercises checksum validation). Drawn per (peer, key) pair.
+	PeerErrProb     float64
+	PeerSlowProb    float64
+	PeerSlowDelay   time.Duration
+	PeerCorruptProb float64
 }
 
 // Stats counts injected faults by kind.
@@ -91,11 +102,15 @@ type Stats struct {
 	Panics, Slows, Freezes        uint64
 	CacheReadErrs, CacheWriteErrs uint64
 	DiskFulls                     uint64
+	JournalErrs                   uint64
+	PeerErrs, PeerSlows           uint64
+	PeerCorrupts                  uint64
 }
 
 // Total sums every injected-fault counter.
 func (s Stats) Total() uint64 {
-	return s.Panics + s.Slows + s.Freezes + s.CacheReadErrs + s.CacheWriteErrs + s.DiskFulls
+	return s.Panics + s.Slows + s.Freezes + s.CacheReadErrs + s.CacheWriteErrs +
+		s.DiskFulls + s.JournalErrs + s.PeerErrs + s.PeerSlows + s.PeerCorrupts
 }
 
 // Injector injects the configured faults. A nil *Injector is valid and
@@ -108,6 +123,10 @@ type Injector struct {
 	diskFulls              atomic.Uint64
 	readSeq, writeSeq      atomic.Uint64
 	persistSeq             atomic.Uint64
+	journalErrs            atomic.Uint64
+	journalSeq             atomic.Uint64
+	peerErrs, peerSlows    atomic.Uint64
+	peerCorrupts           atomic.Uint64
 }
 
 // New builds an injector for cfg.
@@ -136,6 +155,10 @@ func (f *Injector) Stats() Stats {
 		CacheReadErrs:  f.readErrs.Load(),
 		CacheWriteErrs: f.writeErrs.Load(),
 		DiskFulls:      f.diskFulls.Load(),
+		JournalErrs:    f.journalErrs.Load(),
+		PeerErrs:       f.peerErrs.Load(),
+		PeerSlows:      f.peerSlows.Load(),
+		PeerCorrupts:   f.peerCorrupts.Load(),
 	}
 }
 
@@ -241,6 +264,54 @@ func (f *Injector) SaveErr() error {
 	return nil
 }
 
+// JournalErr returns an injected job-journal append error, or nil. Each
+// call is a fresh sequence-numbered draw, simulating a crash between the
+// record write and its fsync: the caller must treat the record as never
+// having been durably written.
+func (f *Injector) JournalErr() error {
+	if f == nil || f.cfg.JournalErrProb <= 0 {
+		return nil
+	}
+	seq := f.journalSeq.Add(1)
+	if f.draw("journal", "", int(seq)) >= f.cfg.JournalErrProb {
+		return nil
+	}
+	f.journalErrs.Add(1)
+	return fmt.Errorf("%w: journal append I/O error (op %d)", ErrInjected, seq)
+}
+
+// PeerErr returns an injected peer-lookup failure for (peer, key), or nil.
+func (f *Injector) PeerErr(peer, key string) error {
+	if f == nil || f.cfg.PeerErrProb <= 0 ||
+		f.draw("peer-err", peer+"|"+key, 0) >= f.cfg.PeerErrProb {
+		return nil
+	}
+	f.peerErrs.Add(1)
+	return fmt.Errorf("%w: peer lookup failure (peer=%s)", ErrInjected, peer)
+}
+
+// PeerDelay returns the artificial peer-response delay for (peer, key),
+// or 0.
+func (f *Injector) PeerDelay(peer, key string) time.Duration {
+	if f == nil || f.cfg.PeerSlowProb <= 0 || f.cfg.PeerSlowDelay <= 0 ||
+		f.draw("peer-slow", peer+"|"+key, 0) >= f.cfg.PeerSlowProb {
+		return 0
+	}
+	f.peerSlows.Add(1)
+	return f.cfg.PeerSlowDelay
+}
+
+// PeerCorrupt reports whether the peer response body for (peer, key)
+// should be corrupted before validation.
+func (f *Injector) PeerCorrupt(peer, key string) bool {
+	if f == nil || f.cfg.PeerCorruptProb <= 0 ||
+		f.draw("peer-corrupt", peer+"|"+key, 0) >= f.cfg.PeerCorruptProb {
+		return false
+	}
+	f.peerCorrupts.Add(1)
+	return true
+}
+
 // Parse builds an injector from a comma-separated spec, e.g.
 //
 //	seed=11,panic=0.3,panic-key=mcf_r,slow=0.5,slow-delay=10ms,
@@ -284,6 +355,16 @@ func Parse(spec string) (*Injector, error) {
 			cfg.CacheWriteErrProb, err = parseProb(v)
 		case "disk-full":
 			cfg.DiskFullPersists, err = strconv.Atoi(v)
+		case "journal-err":
+			cfg.JournalErrProb, err = parseProb(v)
+		case "peer-err":
+			cfg.PeerErrProb, err = parseProb(v)
+		case "peer-slow":
+			cfg.PeerSlowProb, err = parseProb(v)
+		case "peer-slow-delay":
+			cfg.PeerSlowDelay, err = time.ParseDuration(v)
+		case "peer-corrupt":
+			cfg.PeerCorruptProb, err = parseProb(v)
 		default:
 			return nil, fmt.Errorf("faults: unknown spec key %q", k)
 		}
@@ -296,6 +377,9 @@ func Parse(spec string) (*Injector, error) {
 	}
 	if cfg.FreezeProb > 0 && cfg.FreezeFor == 0 {
 		cfg.FreezeFor = 100 * time.Millisecond
+	}
+	if cfg.PeerSlowProb > 0 && cfg.PeerSlowDelay == 0 {
+		cfg.PeerSlowDelay = 10 * time.Millisecond
 	}
 	return New(cfg), nil
 }

@@ -93,8 +93,8 @@ func spanDur(s *Span, now time.Time) time.Duration {
 // the cell's reported wall clock (root-span duration) went, phase by
 // phase. By construction
 //
-//	WallUS = QueueUS + CacheUS + AwaitUS + PlanUS + CheckpointUS +
-//	         SimulateUS + OtherUS
+//	WallUS = QueueUS + CacheUS + PeerUS + AwaitUS + PlanUS +
+//	         CheckpointUS + SimulateUS + OtherUS
 //
 // exactly — OtherUS is defined as the remainder (scheduling gaps between
 // phases), clamped at zero against timer skew. RetryUS, ReconstructUS
@@ -105,6 +105,7 @@ type Attribution struct {
 	WallUS        int64 `json:"wall_us"`
 	QueueUS       int64 `json:"queue_us,omitempty"`
 	CacheUS       int64 `json:"cache_us,omitempty"`
+	PeerUS        int64 `json:"peer_us,omitempty"`
 	AwaitUS       int64 `json:"await_us,omitempty"`
 	PlanUS        int64 `json:"plan_us,omitempty"`
 	CheckpointUS  int64 `json:"checkpoint_us,omitempty"`
@@ -134,6 +135,8 @@ func (ct *CellTrace) Attribution() *Attribution {
 			a.QueueUS += d
 		case PhaseCache:
 			a.CacheUS += d
+		case PhasePeer:
+			a.PeerUS += d
 		case PhaseAwait:
 			a.AwaitUS += d
 		case PhasePlan:
@@ -252,6 +255,7 @@ func (a *Attribution) Summary() string {
 	}
 	add("queue", a.QueueUS)
 	add("cache", a.CacheUS)
+	add("peer", a.PeerUS)
 	add("await", a.AwaitUS)
 	add("plan", a.PlanUS)
 	add("ckpt", a.CheckpointUS)

@@ -193,6 +193,29 @@ func (c *Cache) Contains(key string) bool {
 	return ok
 }
 
+// PeekEncoded returns the wire form of a cached entry — key, integrity
+// checksum, canonical compact result encoding — without touching the
+// hit/miss counters or the LRU order. This is what GET /cache/{key}
+// serves to peer nodes: a peer's lookup is not a demand access of this
+// node's cache, so it must not skew the local hit-rate metrics.
+func (c *Cache) PeekEncoded(key string) (cacheEntry, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	var res core.Result
+	if ok {
+		res = el.Value.(*lruEntry).res
+	}
+	c.mu.Unlock()
+	if !ok {
+		return cacheEntry{}, false
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return cacheEntry{}, false
+	}
+	return cacheEntry{Key: key, Sum: entrySum(key, raw), Result: raw}, true
+}
+
 // Put stores a completed result as the most recently used entry, evicting
 // the least recently used one if the bound is exceeded.
 func (c *Cache) Put(key string, r core.Result) {

@@ -26,6 +26,11 @@ import (
 //	GET    /sweeps/{id}/trace    span-tree trace JSON (?format=chrome for the
 //	                             Chrome trace-event form); registered only
 //	                             with tracing enabled
+//	GET    /cache/{key}          one content-addressed cache entry in the
+//	                             persisted wire form {key, sum, result};
+//	                             404 on a miss. Internal: this is what
+//	                             peer nodes (internal/fabric) consult on
+//	                             their own cache misses
 //	GET    /variants             registered protection schemes: name,
 //	                             aliases, one-line description
 //	GET    /debug/flight         flight recorder: the last N observability
@@ -61,9 +66,24 @@ func (s *Service) Handler() http.Handler {
 		// untraced server's API surface is unchanged.
 		mux.HandleFunc("GET /sweeps/{id}/trace", s.handleTrace)
 	}
+	mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
 	mux.HandleFunc("GET /variants", s.handleVariants)
 	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	return mux
+}
+
+// handleCacheGet serves one cache entry to a peer node, in exactly the
+// persisted wire form (key + integrity checksum + canonical result
+// encoding) so the peer vets it with the same rule as a loaded cache
+// file. The lookup is a peek: peer traffic must not skew this node's
+// demand hit/miss counters or LRU order.
+func (s *Service) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.cache.PeekEncoded(r.PathValue("key"))
+	if !ok {
+		http.Error(w, "unknown cache key", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
 }
 
 // VariantInfo is one /variants row: a registered protection scheme as

@@ -60,27 +60,35 @@ type Job struct {
 	// Submit before any cell is enqueued, immutable afterwards.
 	jt *trace.JobTrace
 
+	// resumed marks a job re-admitted from the job journal after a
+	// restart (set before any cell is enqueued, immutable afterwards).
+	// Resume accounting splits its cells into skipped (answered by the
+	// persisted cache — work the previous life already did) and rerun.
+	resumed bool
+
 	// onTerminal, set by the service before the job starts, observes the
 	// transition to a terminal state (persistence scheduling, registry
 	// eviction). Called exactly once, outside j.mu.
 	onTerminal func(*Job)
 
-	mu        sync.Mutex
-	state     JobState
-	total     int
-	completed int
-	cached    int
-	failed    int
-	retries   uint64
-	failures  []Failure
-	failedIdx map[int]bool    // ablation cells that failed (by index)
-	failedWl  map[string]bool // workloads with ≥ 1 failed cell
-	progress  []string
-	runs      map[harness.Key]core.Result
-	attrib    map[harness.Key]*trace.Attribution // per-cell breakdowns (tracing on, sweep jobs only)
-	err       error
-	finished  time.Time
-	done      chan struct{}
+	mu            sync.Mutex
+	state         JobState
+	total         int
+	completed     int
+	cached        int
+	resumeSkipped int // resumed job: cells answered from the persisted cache
+	resumeRerun   int // resumed job: cells that had to re-simulate
+	failed        int
+	retries       uint64
+	failures      []Failure
+	failedIdx     map[int]bool    // ablation cells that failed (by index)
+	failedWl      map[string]bool // workloads with ≥ 1 failed cell
+	progress      []string
+	runs          map[harness.Key]core.Result
+	attrib        map[harness.Key]*trace.Attribution // per-cell breakdowns (tracing on, sweep jobs only)
+	err           error
+	finished      time.Time
+	done          chan struct{}
 }
 
 // Ablation reports whether this is an ablation-study job (its export is
@@ -192,6 +200,13 @@ func (j *Job) deliver(idx int, k harness.Key, r core.Result, line string, fromCa
 	if fromCache {
 		j.cached++
 	}
+	if j.resumed {
+		if fromCache {
+			j.resumeSkipped++
+		} else {
+			j.resumeRerun++
+		}
+	}
 	j.progress = append(j.progress, line)
 	note := j.maybeFinish()
 	j.mu.Unlock()
@@ -209,6 +224,9 @@ func (j *Job) cellFail(idx int, k harness.Key, f Failure, line string, retries i
 	}
 	j.failed++
 	j.retries += uint64(retries)
+	if j.resumed {
+		j.resumeRerun++
+	}
 	j.failures = append(j.failures, f)
 	if j.failedIdx == nil {
 		j.failedIdx = make(map[int]bool)
@@ -257,6 +275,12 @@ type Status struct {
 	Retries  uint64    `json:"retries,omitempty"`
 	Failures []Failure `json:"failures,omitempty"`
 	Error    string    `json:"error,omitempty"`
+	// Resumed marks a job re-admitted from the job journal after a
+	// restart; ResumeSkipped / ResumeRerun split its completed cells into
+	// ones answered by the persisted cache versus re-simulated.
+	Resumed       bool `json:"resumed,omitempty"`
+	ResumeSkipped int  `json:"resume_cells_skipped,omitempty"`
+	ResumeRerun   int  `json:"resume_cells_rerun,omitempty"`
 }
 
 // Status snapshots the job.
@@ -272,6 +296,10 @@ func (j *Job) Status() Status {
 		Failed:    j.failed,
 		Retries:   j.retries,
 		Failures:  append([]Failure(nil), j.failures...),
+
+		Resumed:       j.resumed,
+		ResumeSkipped: j.resumeSkipped,
+		ResumeRerun:   j.resumeRerun,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

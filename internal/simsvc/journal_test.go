@@ -1,0 +1,189 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// journalLine marshals one record the way the append path would.
+func journalLine(t *testing.T, rec journalRecord) string {
+	t.Helper()
+	rec.V = journalVersion
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b) + "\n"
+}
+
+func writeJournalFile(t *testing.T, path string, lines ...string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, jobs, maxN := openJournal(path, nil)
+	if len(jobs) != 0 || maxN != 0 {
+		t.Fatalf("fresh journal replayed %d jobs, maxN %d", len(jobs), maxN)
+	}
+	req1 := json.RawMessage(`{"workloads":["mcf_r"]}`)
+	req2 := json.RawMessage(`{"workloads":["gcc_r"]}`)
+	if !j.submit("sweep-1", req1) || !j.submit("sweep-2", req2) {
+		t.Fatal("append failed on a healthy journal")
+	}
+	if !j.terminal("sweep-1", JobDone) {
+		t.Fatal("terminal append failed")
+	}
+	j.close()
+
+	// Reopen: sweep-1 reached a terminal state, sweep-2 is resumable.
+	j2, jobs, maxN := openJournal(path, nil)
+	defer j2.close()
+	if len(jobs) != 1 || jobs[0].id != "sweep-2" {
+		t.Fatalf("replayed jobs = %+v, want only sweep-2", jobs)
+	}
+	if string(jobs[0].req) != string(req2) {
+		t.Fatalf("replayed request = %s, want %s", jobs[0].req, req2)
+	}
+	// The allocator floor covers the terminal job too: sweep-1's ID must
+	// never be reused even though compaction dropped its records.
+	if maxN != 2 {
+		t.Fatalf("maxN = %d, want 2", maxN)
+	}
+
+	// Compaction rewrote the file as a next record plus live submits.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "sweep-1") {
+		t.Fatalf("compacted journal still mentions the terminal job:\n%s", data)
+	}
+	if !strings.Contains(string(data), `"next_n":2`) {
+		t.Fatalf("compacted journal missing allocator floor:\n%s", data)
+	}
+}
+
+func TestJournalTruncatedLastLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	writeJournalFile(t, path,
+		journalLine(t, journalRecord{Op: journalOpSubmit, ID: "sweep-1", Req: json.RawMessage(`{}`)}),
+		journalLine(t, journalRecord{Op: journalOpSubmit, ID: "sweep-2", Req: json.RawMessage(`{}`)}),
+		`{"v":1,"op":"submit","id":"sweep-3","req":{"work`, // torn mid-write by a crash
+	)
+	j, jobs, maxN := openJournal(path, nil)
+	defer j.close()
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want the 2 intact ones", len(jobs))
+	}
+	if _, _, _, skipped := j.stats(); skipped != 1 {
+		t.Fatalf("skipped = %d, want the torn line counted", skipped)
+	}
+	if maxN != 2 {
+		t.Fatalf("maxN = %d: the torn line must not advance the allocator", maxN)
+	}
+}
+
+func TestJournalDuplicateTransitionsAreIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	writeJournalFile(t, path,
+		journalLine(t, journalRecord{Op: journalOpSubmit, ID: "sweep-1", Req: json.RawMessage(`{"a":1}`)}),
+		journalLine(t, journalRecord{Op: journalOpSubmit, ID: "sweep-1", Req: json.RawMessage(`{"a":2}`)}), // dup: first wins
+		journalLine(t, journalRecord{Op: journalOpTerminal, ID: "sweep-1", State: "done"}),
+		journalLine(t, journalRecord{Op: journalOpTerminal, ID: "sweep-1", State: "failed"}), // dup terminal
+		journalLine(t, journalRecord{Op: journalOpTerminal, ID: "sweep-9", State: "done"}),   // terminal without submit
+		journalLine(t, journalRecord{Op: journalOpSubmit, ID: "sweep-2", Req: json.RawMessage(`{}`)}),
+	)
+	j, jobs, maxN := openJournal(path, nil)
+	defer j.close()
+	if len(jobs) != 1 || jobs[0].id != "sweep-2" {
+		t.Fatalf("replayed jobs = %+v, want only sweep-2 live", jobs)
+	}
+	// The orphan terminal for sweep-9 still advances the allocator floor.
+	if maxN != 9 {
+		t.Fatalf("maxN = %d, want 9", maxN)
+	}
+}
+
+func TestJournalIgnoresUnknownFutureRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	writeJournalFile(t, path,
+		// Future fields on a known op are ignored by encoding/json.
+		`{"v":9,"op":"submit","id":"sweep-1","req":{},"shard":"us-east","priority":3}`+"\n",
+		// A future op is skipped without failing replay.
+		`{"v":9,"op":"lease","id":"sweep-1","holder":"node-b"}`+"\n",
+	)
+	j, jobs, _ := openJournal(path, nil)
+	defer j.close()
+	if len(jobs) != 1 || jobs[0].id != "sweep-1" {
+		t.Fatalf("replayed jobs = %+v, want sweep-1 despite future fields", jobs)
+	}
+	if _, _, _, skipped := j.stats(); skipped != 0 {
+		t.Fatalf("skipped = %d: future records must be ignored, not counted corrupt", skipped)
+	}
+}
+
+// TestJournalCrashBetweenWriteAndFsync: an injected append failure
+// (simulating a crash after write but before fsync) loses the record and
+// — past the limit — degrades the journal to memory-only, but never
+// resurrects a terminal job or fails the caller.
+func TestJournalCrashBetweenWriteAndFsync(t *testing.T) {
+	inj, err := faults.Parse("seed=3,journal-err=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, _, _ := openJournal(path, inj)
+	for i := 0; i < journalFailLimit; i++ {
+		if j.submit("sweep-1", json.RawMessage(`{}`)) {
+			t.Fatal("append reported durable despite injected fsync failure")
+		}
+	}
+	if !j.isDegraded() {
+		t.Fatalf("journal not degraded after %d consecutive append failures", journalFailLimit)
+	}
+	if _, appendErrs, _, _ := j.stats(); appendErrs != journalFailLimit {
+		t.Fatalf("appendErrs = %d, want %d", appendErrs, journalFailLimit)
+	}
+	j.close()
+
+	// Nothing leaked to disk: replay finds no live jobs, so a restart
+	// cannot resurrect state the fsync never made durable.
+	j2, jobs, _ := openJournal(path, nil)
+	defer j2.close()
+	if len(jobs) != 0 {
+		t.Fatalf("lost appends reappeared on replay: %+v", jobs)
+	}
+}
+
+func TestJournalNilIsSafe(t *testing.T) {
+	var j *jobJournal
+	if j.submit("sweep-1", nil) || j.terminal("sweep-1", JobDone) {
+		t.Fatal("nil journal accepted an append")
+	}
+	if j.isDegraded() {
+		t.Fatal("nil journal reported degraded")
+	}
+	j.close() // must not panic
+}
+
+func TestJournalUnopenablePathDegrades(t *testing.T) {
+	// A directory can't be opened for append: the journal degrades to
+	// memory-only instead of failing startup.
+	j, _, _ := openJournal(t.TempDir(), nil)
+	defer j.close()
+	if !j.isDegraded() {
+		t.Fatal("journal at an unopenable path should be degraded")
+	}
+	if j.submit("sweep-1", json.RawMessage(`{}`)) {
+		t.Fatal("degraded journal reported a durable append")
+	}
+}

@@ -1,0 +1,78 @@
+package simsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs/trace"
+)
+
+// The service side of cache peering. The wire format of GET /cache/{key}
+// is exactly one persisted cache entry — {key, sum, result} with the
+// same integrity checksum the on-disk cache carries — so a peer response
+// is vetted by the same rule as a loaded cache file: re-compact the
+// result, recompute the sum, drop on mismatch. A corrupt peer can cost a
+// lookup, never poison the determinism guarantee.
+
+// decodePeerEntry parses and verifies a peer /cache response body.
+func decodePeerEntry(key string, body []byte) (core.Result, error) {
+	var e cacheEntry
+	if err := json.Unmarshal(body, &e); err != nil {
+		return core.Result{}, fmt.Errorf("simsvc: peer entry: %w", err)
+	}
+	if e.Key != key {
+		return core.Result{}, fmt.Errorf("simsvc: peer entry key mismatch (got %q)", e.Key)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, e.Result); err != nil {
+		return core.Result{}, fmt.Errorf("simsvc: peer entry result: %w", err)
+	}
+	if entrySum(key, compact.Bytes()) != e.Sum {
+		return core.Result{}, fmt.Errorf("simsvc: peer entry checksum mismatch")
+	}
+	var r core.Result
+	if err := json.Unmarshal(e.Result, &r); err != nil {
+		return core.Result{}, fmt.Errorf("simsvc: peer entry result: %w", err)
+	}
+	return r, nil
+}
+
+// validatePeerEntry is the fabric's Validate hook: a body that fails it
+// counts as a peer failure (breaker food), not a hit.
+func validatePeerEntry(key string, body []byte) error {
+	_, err := decodePeerEntry(key, body)
+	return err
+}
+
+// peerLookup consults the peer fabric for a content-addressed key under
+// a peer-lookup trace span. Misses and every failure mode come back as
+// (zero, false): the caller's fallback is local simulation.
+func (s *Service) peerLookup(root *trace.Span, key string) (core.Result, string, bool) {
+	if s.fab == nil {
+		return core.Result{}, "", false
+	}
+	ps := root.Child(trace.PhasePeer)
+	start := time.Now()
+	body, peerURL, ok := s.fab.Lookup(s.ctx, key)
+	s.peerDur.Observe(time.Since(start).Seconds())
+	ps.Set("hit", strconv.FormatBool(ok))
+	if ok {
+		ps.Set("peer", peerURL)
+	}
+	ps.Finish()
+	if !ok {
+		return core.Result{}, "", false
+	}
+	// The fabric already ran validatePeerEntry on this body; a decode
+	// failure here would be a programming error, and degrading to a miss
+	// keeps even that failure-safe.
+	r, err := decodePeerEntry(key, body)
+	if err != nil {
+		return core.Result{}, "", false
+	}
+	return r, peerURL, true
+}

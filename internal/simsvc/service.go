@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/obs"
@@ -87,6 +88,32 @@ type Config struct {
 	// observability events are always retained in memory, whatever
 	// Recorder is configured (0: default 256).
 	FlightEvents int
+
+	// JournalPath persists the job journal as JSONL ("" disables): every
+	// submission is written ahead of execution and every terminal
+	// transition is fsynced, so a crashed service re-admits its
+	// non-terminal sweeps on restart under their original IDs, re-running
+	// only the cells absent from the persisted result cache (see
+	// journal.go / resume.go).
+	JournalPath string
+
+	// Peers is the static peer list for failure-aware cache peering
+	// (base URLs of other sdoserver nodes). On a local cache miss the
+	// service consults peers by rendezvous-hashed key over GET
+	// /cache/{key} before simulating; every peer failure degrades to
+	// local simulation (see internal/fabric). Empty: peering off.
+	Peers []string
+	// PeerTimeout bounds each peer HTTP request (0: fabric default).
+	PeerTimeout time.Duration
+	// PeerHedgeDelay is how long the best-ranked peer gets before the
+	// lookup hedges to the next one (0: fabric default).
+	PeerHedgeDelay time.Duration
+	// PeerProbeInterval is the background peer health-probe period
+	// (0: fabric default; negative: no prober).
+	PeerProbeInterval time.Duration
+	// PeerMaxFanout bounds peers consulted per lookup (0: fabric
+	// default).
+	PeerMaxFanout int
 
 	// AutoTimeout derives each cell attempt's wall-clock deadline from
 	// the observed run-duration histogram (p99 × autoTimeoutFactor,
@@ -185,6 +212,8 @@ type Service struct {
 	spec    *speculation      // nil unless cfg.Speculate
 	tracer  *trace.Tracer     // nil unless cfg.Trace
 	flight  *obs.SafeRingSink // /debug/flight ring (always on)
+	journal *jobJournal       // nil unless cfg.JournalPath
+	fab     *fabric.Client    // nil unless cfg.Peers
 
 	mu       sync.Mutex
 	closed   bool
@@ -243,6 +272,11 @@ type Service struct {
 	cacheDegraded     atomic.Bool   // persistence disabled (memory-only)
 	cacheLoadFailed   atomic.Bool   // startup cache load failed (started empty)
 
+	resumedJobs   atomic.Uint64 // jobs re-admitted from the journal on startup
+	resumeSkipped atomic.Uint64 // resumed cells answered by the persisted cache
+	resumeReruns  atomic.Uint64 // resumed cells that had to re-simulate
+	resuming      atomic.Int64  // resumed jobs not yet terminal (healthz: degraded)
+
 	ckptsCaptured   atomic.Uint64 // warmup checkpoints captured
 	ckptHits        atomic.Uint64 // cells that restored an existing checkpoint
 	warmupSimulated atomic.Uint64 // warmup instructions actually simulated
@@ -261,6 +295,7 @@ type Service struct {
 	runDur   *obs.Histogram // per-run wall time
 	queueLat *obs.Histogram // submit-to-start latency per cell
 	planDur  *obs.Histogram // sample-plan build wall time
+	peerDur  *obs.Histogram // peer-lookup wall time (nil unless peering)
 }
 
 // flight is one in-progress simulation with every (job, cell) waiting on
@@ -356,7 +391,34 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Speculate {
 		s.spec = newSpeculation(s)
 	}
+	if len(cfg.Peers) > 0 {
+		s.fab = fabric.New(fabric.Config{
+			Peers:         cfg.Peers,
+			Timeout:       cfg.PeerTimeout,
+			HedgeDelay:    cfg.PeerHedgeDelay,
+			MaxFanout:     cfg.PeerMaxFanout,
+			ProbeInterval: cfg.PeerProbeInterval,
+			Validate:      validatePeerEntry,
+			Faults:        cfg.Faults,
+			Event:         s.event,
+		})
+	}
+	// Durable resumable jobs: replay the write-ahead job journal and
+	// re-admit every sweep that was submitted but never reached a
+	// terminal state, under its original ID. The content-addressed
+	// result cache answers the cells the previous life already
+	// completed; only the missing ones re-simulate.
+	var resumable []journalJob
+	if cfg.JournalPath != "" {
+		var maxN int
+		s.journal, resumable, maxN = openJournal(cfg.JournalPath, cfg.Faults)
+		s.nextID = maxN
+		if s.journal.isDegraded() {
+			s.event("journal-degraded", cfg.JournalPath)
+		}
+	}
 	s.registerMetrics()
+	s.resumeJobs(resumable)
 	return s, nil
 }
 
@@ -501,6 +563,45 @@ func (s *Service) registerMetrics() {
 		gau("sdo_trace_jobs", "Job traces currently retained.",
 			func() float64 { return float64(s.tracer.Jobs()) })
 	}
+	if s.journal != nil {
+		ctr("sdo_resume_jobs_total", "Non-terminal jobs re-admitted from the job journal on startup.",
+			func() float64 { return float64(s.resumedJobs.Load()) })
+		ctr("sdo_resume_cells_skipped_total", "Resumed-job cells answered by the persisted result cache (work the previous life already did).",
+			func() float64 { return float64(s.resumeSkipped.Load()) })
+		ctr("sdo_resume_cells_rerun_total", "Resumed-job cells re-simulated because the persisted cache lacked them.",
+			func() float64 { return float64(s.resumeReruns.Load()) })
+		gau("sdo_resume_jobs_active", "Resumed jobs still replaying (healthz reports degraded while > 0).",
+			func() float64 { return float64(s.resuming.Load()) })
+		ctr("sdo_journal_appends_total", "Job-journal records durably appended (fsynced).",
+			func() float64 { a, _, _, _ := s.journal.stats(); return float64(a) })
+		ctr("sdo_journal_append_failures_total", "Job-journal appends that failed (record lost; journal degrades past the limit).",
+			func() float64 { _, e, _, _ := s.journal.stats(); return float64(e) })
+		ctr("sdo_journal_corrupt_lines_total", "Malformed or torn journal lines skipped during replay.",
+			func() float64 { _, _, _, sk := s.journal.stats(); return float64(sk) })
+		gau("sdo_journal_enabled", "1 while the job journal persists to disk, 0 when degraded to memory-only.",
+			func() float64 {
+				if s.journal.isDegraded() {
+					return 0
+				}
+				return 1
+			})
+	}
+	if s.fab != nil {
+		ctr("sdo_peer_hits_total", "Cache misses answered by a peer node.",
+			func() float64 { return float64(s.fab.Stats().Hits) })
+		ctr("sdo_peer_misses_total", "Peer lookups no peer could answer (fell back to local simulation).",
+			func() float64 { return float64(s.fab.Stats().Misses) })
+		ctr("sdo_peer_errors_total", "Peer request failures (down, slow, HTTP error, corrupt response).",
+			func() float64 { return float64(s.fab.Stats().Errors) })
+		ctr("sdo_peer_hedges_total", "Peer lookups hedged to a second peer after the hedge delay.",
+			func() float64 { return float64(s.fab.Stats().Hedges) })
+		gau("sdo_peers_configured", "Peers in the static peer list.",
+			func() float64 { return float64(s.fab.Peers()) })
+		gau("sdo_peers_available", "Peers whose circuit breaker currently admits lookups.",
+			func() float64 { return float64(s.fab.Available()) })
+		s.peerDur = r.NewHistogram("sdo_peer_lookup_seconds",
+			"Wall time of peer cache lookups (hit or miss).", obs.DefaultLatencyBuckets())
+	}
 	obs.RegisterProcessMetrics(r)
 	s.reg = r
 }
@@ -519,12 +620,23 @@ type Health struct {
 	// or "draining" (shutdown underway; not serving new work).
 	Status  string   `json:"status"`
 	Reasons []string `json:"reasons,omitempty"`
+	// ResumingJobs counts journal-resumed jobs that have not yet reached
+	// a terminal state; the status is degraded while any remain, so
+	// load balancers and scripts can tell a replaying node from a warm
+	// one.
+	ResumingJobs int `json:"resuming_jobs,omitempty"`
+	// Peers reports per-peer fabric state (breaker, probe verdict,
+	// counters) when cache peering is configured.
+	Peers []fabric.PeerStatus `json:"peers,omitempty"`
 }
 
 // Health reports the service's operational state: "draining" once
 // shutdown has begun, "degraded" while impaired (cache fell back to
-// memory-only, startup cache load failed, or a retry storm is underway),
-// otherwise "ok".
+// memory-only, startup cache load failed, the job journal degraded, a
+// post-restart resume replay is still running, or a retry storm is
+// underway), otherwise "ok". Peer failures never degrade the status —
+// peering degrades to local simulation by design — but per-peer state is
+// reported.
 func (s *Service) Health() Health {
 	s.mu.Lock()
 	closed := s.closed
@@ -532,20 +644,30 @@ func (s *Service) Health() Health {
 	if closed {
 		return Health{Status: "draining"}
 	}
-	var reasons []string
+	h := Health{
+		ResumingJobs: int(s.resuming.Load()),
+		Peers:        s.fab.Snapshot(),
+	}
 	if s.cacheDegraded.Load() {
-		reasons = append(reasons, "cache-degraded")
+		h.Reasons = append(h.Reasons, "cache-degraded")
 	}
 	if s.cacheLoadFailed.Load() {
-		reasons = append(reasons, "cache-load-failed")
+		h.Reasons = append(h.Reasons, "cache-load-failed")
+	}
+	if s.journal.isDegraded() {
+		h.Reasons = append(h.Reasons, "journal-degraded")
+	}
+	if h.ResumingJobs > 0 {
+		h.Reasons = append(h.Reasons, "resuming")
 	}
 	if s.retryStorm() {
-		reasons = append(reasons, "retry-storm")
+		h.Reasons = append(h.Reasons, "retry-storm")
 	}
-	if len(reasons) > 0 {
-		return Health{Status: "degraded", Reasons: reasons}
+	h.Status = "ok"
+	if len(h.Reasons) > 0 {
+		h.Status = "degraded"
 	}
-	return Health{Status: "ok"}
+	return h
 }
 
 // noteRetry records a retry timestamp for storm detection.
@@ -769,6 +891,24 @@ func (s *Service) retryAfter(pending int) time.Duration {
 // queue is over the configured bound, it returns an *OverloadError
 // without registering anything.
 func (s *Service) Submit(req SweepRequest) (*Job, error) {
+	return s.submit(req, submitOpts{})
+}
+
+// submitOpts distinguishes a fresh submission from a journal-resumed
+// re-admission.
+type submitOpts struct {
+	// id reuses a fixed job ID ("" allocates the next one) — resumed
+	// jobs keep the ID sdoctl already holds.
+	id string
+	// resumed re-admissions bypass queue backpressure (the work was
+	// already admitted once), skip the write-ahead journal append (their
+	// submit record already survives in the journal) and skip the
+	// speculation predictor (the original submission already taught it).
+	resumed bool
+}
+
+// submit is the shared admission path for fresh and resumed sweeps.
+func (s *Service) submit(req SweepRequest, so submitOpts) (*Job, error) {
 	opt, cells, err := s.resolve(req)
 	if err != nil {
 		return nil, err
@@ -786,6 +926,7 @@ func (s *Service) Submit(req SweepRequest) (*Job, error) {
 		runs:     make(map[harness.Key]core.Result, len(cells)),
 		done:     make(chan struct{}),
 		ablation: req.Ablations,
+		resumed:  so.resumed,
 	}
 	if j.ablation {
 		j.cellRes = make([]core.Result, len(cells))
@@ -799,7 +940,7 @@ func (s *Service) Submit(req SweepRequest) (*Job, error) {
 		return nil, ErrClosed
 	}
 	s.evictJobsLocked()
-	if lim := s.cfg.MaxPendingCells; lim > 0 {
+	if lim := s.cfg.MaxPendingCells; lim > 0 && !so.resumed {
 		if pending := s.pool.QueueDepth(); pending+len(cells) > lim {
 			s.mu.Unlock()
 			jcancel()
@@ -807,19 +948,47 @@ func (s *Service) Submit(req SweepRequest) (*Job, error) {
 			return nil, &OverloadError{Pending: pending, Limit: lim, RetryAfter: s.retryAfter(pending + len(cells))}
 		}
 	}
-	s.nextID++
-	j.ID = fmt.Sprintf("sweep-%d", s.nextID)
+	if so.id != "" {
+		if _, exists := s.jobs[so.id]; exists {
+			s.mu.Unlock()
+			jcancel()
+			return nil, fmt.Errorf("simsvc: job %s already registered", so.id)
+		}
+		j.ID = so.id
+	} else {
+		s.nextID++
+		j.ID = fmt.Sprintf("sweep-%d", s.nextID)
+	}
 	j.jt = s.tracer.StartJob(j.ID)
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.mu.Unlock()
 	s.jobsTotal.Add(1)
+	if so.resumed {
+		s.resumedJobs.Add(1)
+		s.resuming.Add(1)
+	} else if s.journal != nil {
+		// Write-ahead: the admission record is durable before any cell
+		// is enqueued, so a crash from here on leaves a resumable job,
+		// never a lost one. An append failure degrades the journal
+		// (health: degraded) but keeps serving — availability over
+		// durability.
+		if raw, err := json.Marshal(req); err == nil {
+			if !s.journal.submit(j.ID, raw) {
+				s.event("journal-append-failed", j.ID)
+			}
+		}
+	}
 	if s.rec.On(obs.ClassTrace) {
-		s.rec.Emit(obs.Event{Class: obs.ClassTrace, Kind: "sweep-submitted",
+		kind := "sweep-submitted"
+		if so.resumed {
+			kind = "sweep-resumed"
+		}
+		s.rec.Emit(obs.Event{Class: obs.ClassTrace, Kind: kind,
 			Detail: fmt.Sprintf("%s: %d cells", j.ID, len(cells))})
 	}
 
-	if s.spec != nil {
+	if s.spec != nil && !so.resumed {
 		// Demand preempts speculation: squash speculative cells this
 		// submission does not need (keeping ones it does — their demand
 		// cells will join the running flight as a hit), then teach the
@@ -847,11 +1016,24 @@ func (s *Service) Submit(req SweepRequest) (*Job, error) {
 // speculation engine is kicked — the pool is likely idle now, and the
 // just-finished job is fresh prediction context.
 func (s *Service) jobFinished(j *Job) {
+	st := j.Status()
 	if s.rec.On(obs.ClassTrace) {
-		st := j.Status()
 		s.rec.Emit(obs.Event{Class: obs.ClassTrace, Kind: "sweep-finished",
 			Detail: fmt.Sprintf("%s: %s (%d/%d runs, %d cached, %d failed)",
 				st.ID, st.State, st.Completed, st.Total, st.Cached, st.Failed)})
+	}
+	// The terminal transition is fsynced before anything can observe the
+	// job as finished-and-persisted: a crash right after this point must
+	// not resurrect the job on restart.
+	if !s.journal.terminal(st.ID, st.State) && s.journal != nil && !s.journal.isDegraded() {
+		s.event("journal-append-failed", st.ID)
+	}
+	if j.resumed {
+		s.resuming.Add(-1)
+		s.resumeSkipped.Add(uint64(st.ResumeSkipped))
+		s.resumeReruns.Add(uint64(st.ResumeRerun))
+		s.event("resume-complete", fmt.Sprintf("%s: %s (%d cells skipped via cache, %d re-run)",
+			st.ID, st.State, st.ResumeSkipped, st.ResumeRerun))
 	}
 	s.mu.Lock()
 	s.evictJobsLocked()
@@ -1101,6 +1283,9 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 	// nil check. The root span starts at enqueue, so its duration is the
 	// cell's reported wall clock; queue-wait is recorded retroactively.
 	ct := j.jt.StartCell(cellName(k), enqueued)
+	if j.resumed {
+		ct.Root().Set("resumed", "true")
+	}
 	ct.Root().ChildAt(trace.PhaseQueue, enqueued).Finish()
 	line := func(r core.Result, note string) string {
 		return harness.FormatProgress(k, r) + note
@@ -1151,6 +1336,29 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 	s.inflight[key] = f
 	s.mu.Unlock()
 
+	// Cache peering: before simulating, ask the fabric whether a peer
+	// already holds this content-addressed key. Any peer failure (down,
+	// slow, corrupt) resolves to a miss and the cell simulates locally —
+	// the fabric can make a sweep faster, never break it. All waiters on
+	// this flight share the one lookup.
+	if r, peerURL, ok := s.peerLookup(ct.Root(), key); ok {
+		s.cache.Put(key, r)
+		s.schedulePersist()
+		s.mu.Lock()
+		delete(s.inflight, key)
+		waiters := f.waiters
+		s.mu.Unlock()
+		for _, w := range waiters {
+			w.await.Finish()
+			w.job.deliver(w.idx, w.key, r, line(r, "  [peer]"), true, 0, finishCell(w.ct, "peer"))
+		}
+		if s.rec.On(obs.ClassTrace) {
+			s.rec.Emit(obs.Event{Class: obs.ClassTrace, Kind: "peer-hit",
+				Detail: fmt.Sprintf("%s from %s", cellName(k), peerURL)})
+		}
+		return
+	}
+
 	pol := harness.RunPolicy{
 		MaxAttempts:  s.cfg.MaxAttempts,
 		RetryBackoff: s.cfg.RetryBackoff,
@@ -1173,6 +1381,14 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 	}
 	if err == nil {
 		s.cache.Put(key, r)
+		if s.journal != nil {
+			// With resumable jobs on, each completed cell schedules a
+			// (debounced) cache persist: the persisted cache is what a
+			// restarted service re-derives surviving cells from, so a
+			// crash loses at most the debounce window of results, not
+			// the whole in-flight sweep.
+			s.schedulePersist()
+		}
 	}
 
 	s.mu.Lock()
@@ -1452,6 +1668,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	s.cancel() // queued cells skip; running cells finish
+	s.fab.Close()
 	if s.spec != nil {
 		// Speculative work is squashable by definition: cancel it all
 		// and join the goroutines before draining demand cells.
@@ -1479,9 +1696,11 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	if s.cfg.CachePath != "" && !s.cacheDegraded.Load() {
 		if err := s.cache.Save(s.cfg.CachePath); err != nil {
 			s.persistFailures.Add(1)
+			s.journal.close()
 			return err
 		}
 	}
+	s.journal.close()
 	return waitErr
 }
 
@@ -1516,6 +1735,24 @@ type Metrics struct {
 	PersistFailures       uint64
 	CacheDegraded         bool
 	FaultsInjected        uint64
+
+	// Resumable-job counters (zero unless Config.JournalPath).
+	ResumedJobs         uint64
+	ResumeCellsSkipped  uint64
+	ResumeCellsRerun    uint64
+	ResumingJobs        int64
+	JournalAppends      uint64
+	JournalAppendFails  uint64
+	JournalCorruptLines int
+	JournalDegraded     bool
+
+	// Cache-peering counters (zero unless Config.Peers).
+	PeerHits        uint64
+	PeerMisses      uint64
+	PeerErrors      uint64
+	PeerHedges      uint64
+	PeersConfigured int
+	PeersAvailable  int
 
 	CheckpointsCaptured   uint64
 	CheckpointHits        uint64
@@ -1593,6 +1830,26 @@ func (s *Service) Snapshot() Metrics {
 		ProfiledInstrs:        s.profiledInstrs.Load(),
 		SamplePlansPersisted:  s.plansPersisted.Load(),
 		SamplePlanDiskHits:    s.planDiskHits.Load(),
+	}
+	if jn := s.journal; jn != nil {
+		m.ResumedJobs = s.resumedJobs.Load()
+		m.ResumeCellsSkipped = s.resumeSkipped.Load()
+		m.ResumeCellsRerun = s.resumeReruns.Load()
+		m.ResumingJobs = s.resuming.Load()
+		a, e, _, sk := jn.stats()
+		m.JournalAppends = a
+		m.JournalAppendFails = e
+		m.JournalCorruptLines = sk
+		m.JournalDegraded = jn.isDegraded()
+	}
+	if f := s.fab; f != nil {
+		fs := f.Stats()
+		m.PeerHits = fs.Hits
+		m.PeerMisses = fs.Misses
+		m.PeerErrors = fs.Errors
+		m.PeerHedges = fs.Hedges
+		m.PeersConfigured = f.Peers()
+		m.PeersAvailable = f.Available()
 	}
 	if sp := s.spec; sp != nil {
 		m.SpecPredictions = sp.predictions.Load()
