@@ -5,6 +5,7 @@
 //	benchrecord                             # all benchmarks -> BENCH_<YYYYMMDD>.json
 //	benchrecord -bench 'OblLoad|Hybrid'     # subset
 //	benchrecord -benchtime 100ms -count 3   # forwarded to go test
+//	benchrecord -manual cluster-sweep-3node -ns 42.7e9   # externally timed entry
 //
 // Each invocation appends one record {date, git_sha, go_version,
 // benchmarks[]} to BENCH_<YYYYMMDD>.json in the current directory (a
@@ -60,9 +61,22 @@ func run(args []string) int {
 		pkg       = fs.String("pkg", ".", "package to benchmark")
 		dir       = fs.String("dir", ".", "directory the BENCH_<date>.json file is written to")
 		dry       = fs.Bool("n", false, "print the record instead of appending it")
+
+		manual = fs.String("manual", "", "record one externally measured entry under this name instead of running go test (CI wall-clock timings, e.g. 1-node vs 3-node sweeps)")
+		ns     = fs.Float64("ns", 0, "with -manual: the measured duration in nanoseconds")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *manual != "" {
+		if *ns <= 0 {
+			fmt.Fprintln(os.Stderr, "benchrecord: -manual requires -ns > 0")
+			return 2
+		}
+		return emit(*dir, *dry, "manual:"+*manual, []Benchmark{
+			{Name: *manual, Iters: 1, NsPerOp: *ns},
+		})
 	}
 
 	gotest := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
@@ -85,21 +99,26 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "benchrecord: no benchmark lines in go test output")
 		return 1
 	}
+	return emit(*dir, *dry, *bench, benches)
+}
+
+// emit appends (or with dry, prints) one record built from benches.
+func emit(dir string, dry bool, bench string, benches []Benchmark) int {
 	now := time.Now().UTC()
 	rec := Record{
 		Date:       now.Format(time.RFC3339),
 		GitSHA:     gitSHA(),
 		GoVersion:  runtime.Version(),
-		Bench:      *bench,
+		Bench:      bench,
 		Benchmarks: benches,
 	}
-	if *dry {
+	if dry {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		enc.Encode(rec)
 		return 0
 	}
-	path := fmt.Sprintf("%s/BENCH_%s.json", *dir, now.Format("20060102"))
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, now.Format("20060102"))
 	if err := appendRecord(path, rec); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrecord:", err)
 		return 1

@@ -41,8 +41,8 @@ func main() {
 		wmode          = flag.String("warmup-mode", "detailed", "warmup mode: detailed (per-cell pipeline warmup) or functional (emulator warmup with per-workload checkpoints)")
 		noReuse        = flag.Bool("no-checkpoint-reuse", false, "with -warmup-mode functional: re-run functional warmup per cell instead of reusing per-workload checkpoints (results are bit-identical; for measurement/CI)")
 		simMode        = flag.String("sim-mode", "detailed", "simulation mode: detailed (cycle-accurate whole window) or sampled (SimPoint-style BBV clustering, representative intervals only)")
-		sampleInterval = flag.Uint64("sample-interval", simpoint.DefaultIntervalInstrs, "sampled mode: interval length in committed instructions")
-		sampleMaxK     = flag.Int("sample-max-k", simpoint.DefaultMaxK, "sampled mode: maximum clusters/representatives per workload")
+		sampleInterval = flag.Uint64("sample-interval", 0, "sampled mode: interval length in committed instructions (0: per-workload tuned default)")
+		sampleMaxK     = flag.Int("sample-max-k", 0, "sampled mode: maximum clusters/representatives per workload (0: per-workload tuned default)")
 		sampleSeed     = flag.Uint64("sample-seed", simpoint.DefaultSeed, "sampled mode: BBV projection / clustering seed")
 		ivl            = flag.Uint64("interval", 0, "sample interval statistics every N cycles (included in -export/-json output)")
 		wls            = flag.String("workloads", "", "comma-separated subset (default: all)")

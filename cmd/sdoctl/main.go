@@ -22,6 +22,9 @@
 //	sdoctl flight                    # flight recorder: last N events + build info
 //
 // The server defaults to $SDOCTL_SERVER, then http://localhost:8344.
+// -server accepts a comma-separated node list (any member of a sdoserver
+// cluster): idempotent GETs fail over to the next node on connection
+// errors; submits and cancels never do.
 package main
 
 import (
@@ -78,7 +81,7 @@ commands:
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sdoctl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	server := fs.String("server", defaultServer(), "service base URL (also $"+envServer+")")
+	server := fs.String("server", defaultServer(), "service base URL, or a comma-separated cluster node list with GET failover (also $"+envServer+")")
 	fs.Usage = func() { usage(stderr); fmt.Fprintln(stderr, "\nglobal flags:"); fs.PrintDefaults() }
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,7 +91,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	c := &client{base: strings.TrimRight(*server, "/"), out: stdout, errw: stderr}
+	var bases []string
+	for _, s := range strings.Split(*server, ",") {
+		if s = strings.TrimRight(strings.TrimSpace(s), "/"); s != "" {
+			bases = append(bases, s)
+		}
+	}
+	if len(bases) == 0 {
+		fmt.Fprintln(stderr, "sdoctl: empty -server list")
+		return 2
+	}
+	c := &client{bases: bases, out: stdout, errw: stderr}
 	cmd, rest := rest[0], rest[1:]
 	needID := func() (string, bool) {
 		if len(rest) < 1 || strings.HasPrefix(rest[0], "-") {
@@ -150,11 +163,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 type client struct {
-	base string
-	out  io.Writer
-	errw io.Writer
-	hc   http.Client
+	// bases is the server list; cur indexes the node currently in use and
+	// is sticky across requests, so after a failover the rest of the
+	// invocation (e.g. submit -wait's progress stream) talks to the node
+	// that answered. With a cluster behind it any node can serve any job.
+	bases []string
+	cur   int
+	out   io.Writer
+	errw  io.Writer
+	hc    http.Client
 }
+
+func (c *client) base() string { return c.bases[c.cur] }
 
 func (c *client) fail(err error) int {
 	fmt.Fprintln(c.errw, "sdoctl:", err)
@@ -189,29 +209,43 @@ func transientConnErr(err error) bool {
 
 // do performs one request; any non-2xx response becomes an error carrying
 // the server's message (and Retry-After hint on 429). Idempotent GETs are
-// retried on transient connection errors with capped exponential backoff.
+// retried on transient connection errors with capped exponential backoff;
+// with a multi-node -server list each retry round first fails over through
+// the remaining nodes before sleeping. POST/DELETE never retry or fail
+// over — a submit that half-landed must not be replayed.
 func (c *client) do(method, path string, body io.Reader) (*http.Response, error) {
 	var resp *http.Response
 	var err error
 	delay := retryBaseDelay
-	for attempt := 1; ; attempt++ {
-		var req *http.Request
-		req, err = http.NewRequest(method, c.base+path, body)
-		if err != nil {
-			return nil, err
+	for round := 1; ; round++ {
+		for i := 0; i < len(c.bases); i++ {
+			var req *http.Request
+			req, err = http.NewRequest(method, c.base()+path, body)
+			if err != nil {
+				return nil, err
+			}
+			if body != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err = c.hc.Do(req)
+			if err == nil || method != http.MethodGet || !transientConnErr(err) {
+				break
+			}
+			if len(c.bases) > 1 && i < len(c.bases)-1 {
+				next := (c.cur + 1) % len(c.bases)
+				fmt.Fprintf(c.errw, "sdoctl: %s %s: %v (failing over to %s)\n",
+					method, path, err, c.bases[next])
+				c.cur = next
+			}
 		}
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-		resp, err = c.hc.Do(req)
 		if err == nil {
 			break
 		}
-		if method != http.MethodGet || attempt >= retryAttempts || !transientConnErr(err) {
+		if method != http.MethodGet || round >= retryAttempts || !transientConnErr(err) {
 			return nil, err
 		}
 		fmt.Fprintf(c.errw, "sdoctl: %s %s: %v (retrying in %s, attempt %d/%d)\n",
-			method, path, err, delay, attempt, retryAttempts)
+			method, path, err, delay, round, retryAttempts)
 		time.Sleep(delay)
 		if delay *= 2; delay > retryMaxDelay {
 			delay = retryMaxDelay

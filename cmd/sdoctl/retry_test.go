@@ -42,7 +42,7 @@ func TestGetRetriesTransientConnectionErrors(t *testing.T) {
 
 	ft := &flakyTransport{limit: 2, next: http.DefaultTransport}
 	var out, errw bytes.Buffer
-	c := &client{base: srv.URL, out: &out, errw: &errw, hc: http.Client{Transport: ft}}
+	c := &client{bases: []string{srv.URL}, out: &out, errw: &errw, hc: http.Client{Transport: ft}}
 	if code := c.showJSON("/healthz"); code != 0 {
 		t.Fatalf("GET through a flaky connection: exit %d, stderr %q", code, errw.String())
 	}
@@ -58,7 +58,7 @@ func TestGetGivesUpAfterRetryBudget(t *testing.T) {
 	fastRetries(t)
 	ft := &flakyTransport{limit: 1 << 30, next: http.DefaultTransport}
 	var out, errw bytes.Buffer
-	c := &client{base: "http://127.0.0.1:1", out: &out, errw: &errw, hc: http.Client{Transport: ft}}
+	c := &client{bases: []string{"http://127.0.0.1:1"}, out: &out, errw: &errw, hc: http.Client{Transport: ft}}
 	if code := c.showJSON("/healthz"); code != 1 {
 		t.Fatalf("permanently refused GET: exit %d, want 1", code)
 	}
@@ -67,11 +67,56 @@ func TestGetGivesUpAfterRetryBudget(t *testing.T) {
 	}
 }
 
+func TestGetFailsOverToNextServer(t *testing.T) {
+	fastRetries(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+
+	var out, errw bytes.Buffer
+	c := &client{bases: []string{"http://127.0.0.1:1", srv.URL}, out: &out, errw: &errw}
+	if code := c.showJSON("/healthz"); code != 0 {
+		t.Fatalf("GET with one dead node: exit %d, stderr %q", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "failing over") {
+		t.Fatalf("stderr missing failover notice:\n%s", errw.String())
+	}
+	if strings.Contains(errw.String(), "retrying") {
+		t.Fatalf("failover slept through a backoff round:\n%s", errw.String())
+	}
+	if c.base() != srv.URL {
+		t.Fatalf("client not sticky on the live node: %s", c.base())
+	}
+
+	// Subsequent requests go straight to the surviving node.
+	errw.Reset()
+	if code := c.showJSON("/healthz"); code != 0 || errw.Len() != 0 {
+		t.Fatalf("follow-up GET: exit %d, stderr %q", code, errw.String())
+	}
+}
+
+func TestPostDoesNotFailOver(t *testing.T) {
+	fastRetries(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("POST reached the fallback node")
+	}))
+	defer srv.Close()
+	var out, errw bytes.Buffer
+	c := &client{bases: []string{"http://127.0.0.1:1", srv.URL}, out: &out, errw: &errw}
+	if _, err := c.do(http.MethodPost, "/sweeps", strings.NewReader("{}")); err == nil {
+		t.Fatal("refused POST did not error")
+	}
+	if c.cur != 0 {
+		t.Fatal("POST rotated the server list (submissions must not replay)")
+	}
+}
+
 func TestPostIsNeverRetried(t *testing.T) {
 	fastRetries(t)
 	ft := &flakyTransport{limit: 1 << 30, next: http.DefaultTransport}
 	var out, errw bytes.Buffer
-	c := &client{base: "http://127.0.0.1:1", out: &out, errw: &errw, hc: http.Client{Transport: ft}}
+	c := &client{bases: []string{"http://127.0.0.1:1"}, out: &out, errw: &errw, hc: http.Client{Transport: ft}}
 	if _, err := c.do(http.MethodPost, "/sweeps", strings.NewReader("{}")); err == nil {
 		t.Fatal("refused POST did not error")
 	}
@@ -92,7 +137,7 @@ func TestNonTransientErrorIsNotRetried(t *testing.T) {
 		return http.DefaultTransport.RoundTrip(req)
 	})
 	var out, errw bytes.Buffer
-	c := &client{base: srv.URL, out: &out, errw: &errw, hc: http.Client{Transport: counting}}
+	c := &client{bases: []string{srv.URL}, out: &out, errw: &errw, hc: http.Client{Transport: counting}}
 	if code := c.showJSON("/sweeps/sweep-9"); code != 1 {
 		t.Fatalf("404 GET: exit %d, want 1", code)
 	}

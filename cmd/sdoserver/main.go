@@ -29,10 +29,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"slices"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/simsvc"
 )
@@ -72,6 +74,12 @@ func main() {
 		peerHedge     = flag.Duration("peer-hedge", 0, "hedge a peer lookup to the next-ranked peer after this delay (0: default 75ms)")
 		peerProbe     = flag.Duration("peer-probe", 0, "peer health-probe period (0: default 5s; negative: off)")
 		peerMaxFanout = flag.Int("peer-fanout", 0, "max peers consulted per lookup (0: default 2)")
+
+		clusterPeers  = flag.String("cluster-peers", "", "full cluster membership as comma-separated id=url pairs incl. this node, e.g. a=http://na:8344,b=http://nb:8344 (federates nodes into one logical /sweeps service)")
+		nodeID        = flag.String("node-id", "", "this node's member id within -cluster-peers")
+		stealInterval = flag.Duration("steal-interval", 0, "work-stealing peer-poll period (0: default 2s; negative: stealing off)")
+		stealMax      = flag.Int("steal-max", 0, "max cells claimed per steal poll (0: default 4)")
+		stealTTL      = flag.Duration("steal-lease-ttl", 0, "steal-lease duration; an expired lease's cell is reclaimed by its owner (0: default 30s)")
 	)
 	flag.Parse()
 
@@ -91,6 +99,39 @@ func main() {
 		}
 	}
 
+	// Cluster mode: parse the membership and fold the other members into
+	// the cache-peering list, so result lookups, artifact peering, and
+	// steal completions all flow over the same fabric.
+	var (
+		members   []cluster.Member
+		memberIDs []string
+	)
+	if *clusterPeers != "" {
+		var err error
+		members, err = cluster.ParseMembers(*clusterPeers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdoserver:", err)
+			os.Exit(1)
+		}
+		if *nodeID == "" {
+			fmt.Fprintln(os.Stderr, "sdoserver: -cluster-peers requires -node-id")
+			os.Exit(1)
+		}
+		for _, m := range members {
+			memberIDs = append(memberIDs, m.ID)
+			if m.ID != *nodeID && !slices.Contains(peerList, m.URL) {
+				peerList = append(peerList, m.URL)
+			}
+		}
+		if !slices.Contains(memberIDs, *nodeID) {
+			fmt.Fprintf(os.Stderr, "sdoserver: -node-id %q not in -cluster-peers\n", *nodeID)
+			os.Exit(1)
+		}
+	} else if *nodeID != "" {
+		fmt.Fprintln(os.Stderr, "sdoserver: -node-id requires -cluster-peers")
+		os.Exit(1)
+	}
+
 	inj, err := faults.Parse(*faultSpec)
 	if err == nil && inj == nil {
 		inj, err = faults.FromEnv(os.LookupEnv)
@@ -103,7 +144,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sdoserver: CHAOS fault injection enabled: %+v\n", inj.Config())
 	}
 
-	svc, err := simsvc.New(simsvc.Config{
+	cfg := simsvc.Config{
 		Workers:         *workers,
 		CachePath:       *cache,
 		CacheMaxEntries: *cacheMax,
@@ -131,7 +172,14 @@ func main() {
 		PeerHedgeDelay:    *peerHedge,
 		PeerProbeInterval: *peerProbe,
 		PeerMaxFanout:     *peerMaxFanout,
-	})
+	}
+	if members != nil {
+		cfg.OwnsID = cluster.Owns(*nodeID, memberIDs)
+		cfg.PeerArtifacts = true
+		cfg.WorkStealing = true
+		cfg.StealLeaseTTL = *stealTTL
+	}
+	svc, err := simsvc.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdoserver:", err)
 		os.Exit(1)
@@ -159,6 +207,24 @@ func main() {
 	}
 
 	handler := svc.Handler()
+	var node *cluster.Node
+	if members != nil {
+		node, err = cluster.New(cluster.Config{
+			Self:          *nodeID,
+			Members:       members,
+			Service:       svc,
+			Trace:         *traceOn,
+			StealInterval: *stealInterval,
+			StealMax:      *stealMax,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdoserver:", err)
+			os.Exit(1)
+		}
+		handler = node.Handler()
+		fmt.Fprintf(os.Stderr, "sdoserver: cluster node %q in %d-member cluster (one logical /sweeps; work stealing %v)\n",
+			*nodeID, len(members), *stealInterval >= 0)
+	}
 	if *pprofOn {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
@@ -186,6 +252,9 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "sdoserver: shutting down (finishing in-flight runs)")
+	if node != nil {
+		node.Close() // stop stealing before draining the local pool
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

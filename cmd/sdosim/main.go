@@ -52,10 +52,10 @@ func main() {
 			"write the interval time series as JSON to this file ('-' for stdout; default with -interval: stdout)")
 		simMode = flag.String("sim-mode", "detailed",
 			"simulation mode: detailed (cycle-accurate whole window) or sampled (SimPoint-style: profile, cluster, simulate representatives, reconstruct)")
-		sampleInterval = flag.Uint64("sample-interval", simpoint.DefaultIntervalInstrs,
-			"sampled mode: interval length in committed instructions")
-		sampleMaxK = flag.Int("sample-max-k", simpoint.DefaultMaxK,
-			"sampled mode: maximum number of clusters/representatives")
+		sampleInterval = flag.Uint64("sample-interval", 0,
+			"sampled mode: interval length in committed instructions (0: per-workload tuned default)")
+		sampleMaxK = flag.Int("sample-max-k", 0,
+			"sampled mode: maximum number of clusters/representatives (0: per-workload tuned default)")
 		sampleSeed = flag.Uint64("sample-seed", simpoint.DefaultSeed,
 			"sampled mode: seed for BBV projection and clustering")
 	)
@@ -227,7 +227,7 @@ func main() {
 // written with its reconstruction weight (there is no whole-window
 // series to fake — the gaps between windows were never simulated).
 func runSampled(wl workload.Workload, v core.Variant, m pipeline.AttackModel, warmup, instrs, interval uint64, intervalOut string, cfg simpoint.Config) {
-	sp, err := harness.BuildSamplePlan(wl, warmup, instrs, cfg)
+	sp, err := harness.BuildSamplePlan(wl, warmup, instrs, harness.TunedSampleConfig(wl.Name, cfg))
 	if err != nil {
 		fatal(err)
 	}

@@ -8,11 +8,12 @@ import (
 )
 
 // TestAttackDefenseMatrix runs the full attack × defense grid over every
-// registered protection scheme: Spectre V1 (same thread) and the
-// cross-core flush+reload against all of them. Unsafe must leak the
-// secret exactly (the attacks are real); every defense — STT, the SDO
-// rows, SafeSpec and SpecBox — must leave a secret-independent timing
-// surface. New RegisterScheme additions are pulled in automatically.
+// registered protection scheme: Spectre V1 (same thread), the cross-core
+// flush+reload, and load-value injection against all of them. Unsafe
+// must leak the secret exactly (the attacks are real); every defense —
+// STT, the SDO rows, SafeSpec and SpecBox — must leave a
+// secret-independent timing surface. New RegisterScheme additions are
+// pulled in automatically.
 func TestAttackDefenseMatrix(t *testing.T) {
 	secret := testSecret[:2]
 	for _, v := range core.Registered() {
@@ -27,18 +28,21 @@ func TestAttackDefenseMatrix(t *testing.T) {
 			if err != nil {
 				t.Fatalf("cross-core: %v", err)
 			}
+			lvi, err := RunLVI(v, pipeline.Spectre, secret)
+			if err != nil {
+				t.Fatalf("lvi: %v", err)
+			}
+			outcomes := map[string]Outcome{"spectre-v1": same, "cross-core": cross, "lvi": lvi}
 			if v == core.Unsafe {
-				if !same.Leaked {
-					t.Errorf("spectre-v1: insecure baseline failed to leak: recovered %x, want %x",
-						same.Recovered, same.Secret)
-				}
-				if !cross.Leaked {
-					t.Errorf("cross-core: insecure baseline failed to leak: recovered %x, want %x",
-						cross.Recovered, cross.Secret)
+				for name, out := range outcomes {
+					if !out.Leaked {
+						t.Errorf("%s: insecure baseline failed to leak: recovered %x, want %x",
+							name, out.Recovered, out.Secret)
+					}
 				}
 				return
 			}
-			for name, out := range map[string]Outcome{"spectre-v1": same, "cross-core": cross} {
+			for name, out := range outcomes {
 				// No byte may be recovered even by chance: a uniform timing
 				// surface resolves to index 0 and the secret has no zero bytes.
 				for k, got := range out.Recovered {

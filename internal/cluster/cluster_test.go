@@ -1,0 +1,484 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/simsvc"
+)
+
+// swapHandler lets a httptest server start before the Node that will
+// serve it exists (members need every node's URL up front).
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "node not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+type testNode struct {
+	id   string
+	srv  *httptest.Server
+	swap *swapHandler
+	svc  *simsvc.Service
+	node *Node
+}
+
+// startCluster builds an in-process cluster of len(ids) nodes, each a
+// full simsvc.Service wrapped by a cluster Node behind its own test
+// server. mut customizes the i-th node's configs before construction;
+// stealing loops default to off so tests opt in explicitly.
+func startCluster(t *testing.T, ids []string, mut func(i int, scfg *simsvc.Config, ncfg *Config)) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, len(ids))
+	members := make([]Member, len(ids))
+	for i, id := range ids {
+		sw := &swapHandler{}
+		srv := httptest.NewServer(sw)
+		t.Cleanup(srv.Close)
+		nodes[i] = &testNode{id: id, srv: srv, swap: sw}
+		members[i] = Member{ID: id, URL: srv.URL}
+	}
+	for i, id := range ids {
+		var peers []string
+		for j, m := range members {
+			if j != i {
+				peers = append(peers, m.URL)
+			}
+		}
+		scfg := simsvc.Config{
+			Workers:       2,
+			OwnsID:        Owns(id, ids),
+			PeerArtifacts: true,
+			WorkStealing:  true,
+			Peers:         peers,
+		}
+		ncfg := Config{Self: id, Members: members, StealInterval: -1}
+		if mut != nil {
+			mut(i, &scfg, &ncfg)
+		}
+		svc, err := simsvc.New(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ncfg.Service = svc
+		node, err := New(ncfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i].svc, nodes[i].node = svc, node
+		nodes[i].swap.set(node.Handler())
+		t.Cleanup(func() {
+			node.Close()
+			svc.Shutdown(context.Background())
+		})
+	}
+	return nodes
+}
+
+// smallReq is a fast sweep: 2 workloads x 2 variants x 1 model = 4 cells.
+func smallReq() simsvc.SweepRequest {
+	warmup := uint64(1000)
+	return simsvc.SweepRequest{
+		Workloads:    []string{"exchange2_r", "deepsjeng_r"},
+		Variants:     []string{"unsafe", "hybrid"},
+		Models:       []string{"spectre"},
+		MaxInstrs:    2000,
+		WarmupInstrs: &warmup,
+	}
+}
+
+func postSweep(t *testing.T, url string, req simsvc.SweepRequest) simsvc.Status {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /sweeps: %d: %s", resp.StatusCode, b)
+	}
+	var st simsvc.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func get(t *testing.T, url string, wantCode int) ([]byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: %d (want %d): %s", url, resp.StatusCode, wantCode, b)
+	}
+	return b, resp.Header
+}
+
+// metric scrapes one counter value from a node's /metrics document.
+func metric(t *testing.T, url, name string) float64 {
+	t.Helper()
+	b, _ := get(t, url+"/metrics", 200)
+	for _, line := range strings.Split(string(b), "\n") {
+		if f := strings.Fields(line); len(f) == 2 && f[0] == name {
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// idOwnedBy finds a job ID of the standard sweep-N form that the given
+// member owns — what that node's own OwnsID allocation would produce.
+func idOwnedBy(t *testing.T, owner string, ids []string) string {
+	t.Helper()
+	for n := 1; n < 10_000; n++ {
+		id := fmt.Sprintf("sweep-%d", n)
+		if OwnerOf(id, ids) == owner {
+			return id
+		}
+	}
+	t.Fatalf("no sweep-N id owned by %s", owner)
+	return ""
+}
+
+func TestOwnershipPartition(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	owned := map[string]int{}
+	for n := 1; n <= 300; n++ {
+		id := fmt.Sprintf("sweep-%d", n)
+		o := OwnerOf(id, ids)
+		owned[o]++
+		// Every node computes the same owner, and exactly one owns it.
+		for _, self := range ids {
+			if got := Owns(self, ids)(id); got != (self == o) {
+				t.Fatalf("Owns(%s)(%s) = %v, owner %s", self, id, got, o)
+			}
+		}
+	}
+	for _, id := range ids {
+		if owned[id] == 0 {
+			t.Errorf("member %s owns no IDs of 300 (distribution %v)", id, owned)
+		}
+	}
+}
+
+// TestClusterProxyServesPeerJobs is the single-logical-service pillar:
+// a sweep submitted to one node is fully observable from every other,
+// with byte-identical exports.
+func TestClusterProxyServesPeerJobs(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b", "c"}, nil)
+	a, b := nodes[0], nodes[1]
+
+	st := postSweep(t, b.srv.URL, smallReq())
+	if owner := OwnerOf(st.ID, []string{"a", "b", "c"}); owner != "b" {
+		t.Fatalf("node b allocated %s owned by %s", st.ID, owner)
+	}
+
+	direct, _ := get(t, b.srv.URL+"/sweeps/"+st.ID+"/export", 200)
+	proxied, hdr := get(t, a.srv.URL+"/sweeps/"+st.ID+"/export", 200)
+	if !bytes.Equal(direct, proxied) {
+		t.Fatalf("proxied export differs from owner's export (%d vs %d bytes)", len(proxied), len(direct))
+	}
+	if via := hdr.Get(ViaHeader); via != "b" {
+		t.Errorf("proxied export Via = %q, want b", via)
+	}
+
+	// Status and cancel-after-done work through the proxy too.
+	body, _ := get(t, a.srv.URL+"/sweeps/"+st.ID, 200)
+	var got simsvc.Status
+	if err := json.Unmarshal(body, &got); err != nil || got.ID != st.ID {
+		t.Fatalf("proxied status: %v (%s)", err, body)
+	}
+	if v := metric(t, a.srv.URL, "sdo_cluster_proxied_requests_total"); v < 2 {
+		t.Errorf("node a proxied %v requests, want >= 2", v)
+	}
+}
+
+// TestClusterProxyLoopPrevention pins the hop header contract: a
+// request that already hopped once is answered locally, never
+// re-forwarded — so two nodes that disagree about ownership produce a
+// 404, not a proxy cycle.
+func TestClusterProxyLoopPrevention(t *testing.T) {
+	var peerHits atomic.Int32
+	nodes := startCluster(t, []string{"a", "b"}, nil)
+	a, b := nodes[0], nodes[1]
+
+	// Count every request reaching node b.
+	inner := b.node.Handler()
+	b.swap.set(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		peerHits.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+
+	unknown := idOwnedBy(t, "b", []string{"a", "b"})
+	req, _ := http.NewRequest(http.MethodGet, a.srv.URL+"/sweeps/"+unknown, nil)
+	req.Header.Set(HopHeader, "b")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("hopped unknown-job request: %d, want 404", resp.StatusCode)
+	}
+	if n := peerHits.Load(); n != 0 {
+		t.Fatalf("hopped request was re-forwarded %d times", n)
+	}
+
+	// Without the hop header the peer IS consulted — and the request it
+	// receives carries the header, so it terminates there.
+	get(t, a.srv.URL+"/sweeps/"+unknown, 404)
+	if n := peerHits.Load(); n < 1 {
+		t.Fatal("un-hopped unknown-job request never reached the peer")
+	}
+}
+
+// TestClusterOwnerUnreachable is honest degradation: when the owning
+// node is down, a request for its job fails fast with a 503 naming the
+// owner instead of hanging or pretending the job does not exist.
+func TestClusterOwnerUnreachable(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b"}, nil)
+	a, b := nodes[0], nodes[1]
+	id := idOwnedBy(t, "b", []string{"a", "b"})
+	b.srv.Close()
+
+	resp, err := http.Get(a.srv.URL + "/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("owner-down request: %d, want 503: %s", resp.StatusCode, body)
+	}
+	if own := resp.Header.Get(OwnerHeader); !strings.HasPrefix(own, "b ") {
+		t.Errorf("503 owner header %q does not name owner b", own)
+	}
+	var doc map[string]string
+	if err := json.Unmarshal(body, &doc); err != nil || doc["owner"] != "b" {
+		t.Errorf("503 body does not identify the owner: %s", body)
+	}
+	if v := metric(t, a.srv.URL, "sdo_cluster_proxy_errors_total"); v < 1 {
+		t.Errorf("proxy error not counted: %v", v)
+	}
+}
+
+// TestClusterScatterGatherListing: GET /sweeps merges every member's
+// jobs; a down member degrades the listing honestly via the Partial
+// header rather than failing it.
+func TestClusterScatterGatherListing(t *testing.T) {
+	nodes := startCluster(t, []string{"a", "b", "c"}, nil)
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	stA := postSweep(t, a.srv.URL, smallReq())
+	stB := postSweep(t, b.srv.URL, smallReq())
+	get(t, a.srv.URL+"/sweeps/"+stA.ID+"/export", 200)
+	get(t, b.srv.URL+"/sweeps/"+stB.ID+"/export", 200)
+
+	listIDs := func(body []byte) []string {
+		var sts []simsvc.Status
+		if err := json.Unmarshal(body, &sts); err != nil {
+			t.Fatalf("listing: %v: %s", err, body)
+		}
+		var ids []string
+		for _, st := range sts {
+			ids = append(ids, st.ID)
+		}
+		return ids
+	}
+
+	body, hdr := get(t, c.srv.URL+"/sweeps", 200)
+	ids := listIDs(body)
+	if len(ids) != 2 || !(ids[0] == stA.ID || ids[1] == stA.ID) || !(ids[0] == stB.ID || ids[1] == stB.ID) {
+		t.Fatalf("full listing from c: %v, want {%s, %s}", ids, stA.ID, stB.ID)
+	}
+	if p := hdr.Get(PartialHeader); p != "" {
+		t.Errorf("healthy cluster listing marked partial: %q", p)
+	}
+
+	c.srv.Close()
+	body, hdr = get(t, a.srv.URL+"/sweeps", 200)
+	ids = listIDs(body)
+	if len(ids) != 2 {
+		t.Fatalf("listing with c down: %v, want both jobs", ids)
+	}
+	if p := hdr.Get(PartialHeader); p != "c" {
+		t.Errorf("partial header %q, want c", p)
+	}
+}
+
+// TestClusterWorkStealing: an idle node drains a busy peer's queue, the
+// owner's export stays byte-identical to a standalone run, and the
+// steal metrics account for the transfer.
+func TestClusterWorkStealing(t *testing.T) {
+	req := smallReq()
+	req.Workloads = []string{"exchange2_r", "deepsjeng_r", "xz_r", "mcf_r"}
+	req.MaxInstrs = 20_000 // slow the cells so the thief's poll lands mid-queue
+
+	// Standalone golden: same request, isolated node.
+	solo := startCluster(t, []string{"solo"}, nil)[0]
+	stSolo := postSweep(t, solo.srv.URL, req)
+	golden, _ := get(t, solo.srv.URL+"/sweeps/"+stSolo.ID+"/export", 200)
+
+	nodes := startCluster(t, []string{"a", "b"}, func(i int, scfg *simsvc.Config, ncfg *Config) {
+		if i == 0 {
+			scfg.Workers = 1 // the victim: a long queue
+		} else {
+			scfg.Workers = 4
+			ncfg.StealInterval = 20 * time.Millisecond
+			ncfg.StealMax = 2
+		}
+	})
+	a, b := nodes[0], nodes[1]
+
+	st := postSweep(t, a.srv.URL, req)
+	export, _ := get(t, a.srv.URL+"/sweeps/"+st.ID+"/export", 200)
+	if !bytes.Equal(export, golden) {
+		t.Fatalf("stolen sweep export differs from standalone golden (%d vs %d bytes)",
+			len(export), len(golden))
+	}
+	if v := metric(t, b.srv.URL, "sdo_cluster_steals_total"); v < 1 {
+		t.Errorf("thief completed %v steals, want >= 1", v)
+	}
+	if v := metric(t, a.srv.URL, "sdo_cluster_cells_stolen_total"); v < 1 {
+		t.Errorf("owner leased out %v cells, want >= 1", v)
+	}
+	if v := metric(t, a.srv.URL, "sdo_cluster_steal_completions_total"); v < 1 {
+		t.Errorf("owner accepted %v steal completions, want >= 1", v)
+	}
+}
+
+// TestClusterArtifactPeering: checkpoints and sampling plans built by
+// one node are fetched by peers instead of rebuilt, and a peer-warmed
+// sweep's export is byte-identical to a standalone run's.
+func TestClusterArtifactPeering(t *testing.T) {
+	// Two artifact kinds, two scenarios on the same pair of nodes:
+	// functional-warmup detailed sweeps share per-workload checkpoints,
+	// sampled sweeps share per-workload plans (whose checkpoints ride
+	// inside the plan file). The warm/probe requests differ only in
+	// variant, so result cache keys miss while artifact keys match.
+	ckptReq := smallReq()
+	ckptReq.Variants = []string{"unsafe"}
+	ckptReq.WarmupMode = "functional"
+	planReq := smallReq()
+	planReq.Variants = []string{"unsafe"}
+	planReq.SimMode = "sampled"
+
+	solo := startCluster(t, []string{"solo"}, func(i int, scfg *simsvc.Config, ncfg *Config) {
+		scfg.CachePath = filepath.Join(t.TempDir(), "cache.json")
+	})[0]
+	nodes := startCluster(t, []string{"a", "b"}, func(i int, scfg *simsvc.Config, ncfg *Config) {
+		scfg.CachePath = filepath.Join(t.TempDir(), "cache.json")
+	})
+	a, b := nodes[0], nodes[1]
+
+	for _, tc := range []struct {
+		name, metric string
+		req          simsvc.SweepRequest
+	}{
+		{"checkpoint", "sdo_cluster_ckpt_peer_hits_total", ckptReq},
+		{"plan", "sdo_cluster_plan_peer_hits_total", planReq},
+	} {
+		probe := tc.req
+		probe.Variants = []string{"hybrid"}
+
+		// Standalone golden for the probe sweep.
+		stSolo := postSweep(t, solo.srv.URL, probe)
+		golden, _ := get(t, solo.srv.URL+"/sweeps/"+stSolo.ID+"/export", 200)
+
+		// Node a builds (and persists) the artifacts.
+		stA := postSweep(t, a.srv.URL, tc.req)
+		get(t, a.srv.URL+"/sweeps/"+stA.ID+"/export", 200)
+
+		// Node b's sweep misses the result cache but peers the artifacts.
+		stB := postSweep(t, b.srv.URL, probe)
+		export, _ := get(t, b.srv.URL+"/sweeps/"+stB.ID+"/export", 200)
+		if !bytes.Equal(export, golden) {
+			t.Fatalf("%s: peer-warmed export differs from standalone golden (%d vs %d bytes)",
+				tc.name, len(export), len(golden))
+		}
+		if v := metric(t, b.srv.URL, tc.metric); v < 1 {
+			t.Errorf("%s peer hits = %v, want >= 1", tc.name, v)
+		}
+	}
+}
+
+// TestClusterStealLeaseExpiryReclamation is the crash-safety pillar: a
+// thief claims cells and dies (never completes), and after the lease
+// TTL the owner reclaims and finishes them itself — the sweep still
+// completes exactly.
+func TestClusterStealLeaseExpiryReclamation(t *testing.T) {
+	req := smallReq()
+	req.MaxInstrs = 10_000
+
+	solo := startCluster(t, []string{"solo"}, nil)[0]
+	stSolo := postSweep(t, solo.srv.URL, req)
+	golden, _ := get(t, solo.srv.URL+"/sweeps/"+stSolo.ID+"/export", 200)
+
+	nodes := startCluster(t, []string{"a"}, func(i int, scfg *simsvc.Config, ncfg *Config) {
+		scfg.Workers = 1
+		scfg.StealLeaseTTL = 250 * time.Millisecond
+	})
+	a := nodes[0]
+
+	st := postSweep(t, a.srv.URL, req)
+	// The "thief" claims queued cells over the wire and is then
+	// SIGKILLed: no completion ever arrives.
+	body, _ := get(t, a.srv.URL+"/cluster/steal?max=3&thief=doomed", 200)
+	var cells []simsvc.StolenCell
+	if err := json.Unmarshal(body, &cells); err != nil {
+		t.Fatalf("steal claim: %v: %s", err, body)
+	}
+	if len(cells) == 0 {
+		t.Fatal("no cells claimable right after submit (workers=1, 4 cells)")
+	}
+
+	export, _ := get(t, a.srv.URL+"/sweeps/"+st.ID+"/export", 200)
+	if !bytes.Equal(export, golden) {
+		t.Fatalf("post-reclamation export differs from golden (%d vs %d bytes)",
+			len(export), len(golden))
+	}
+	if v := metric(t, a.srv.URL, "sdo_cluster_lease_expiries_total"); v < 1 {
+		t.Errorf("lease expiries = %v, want >= 1 (dead thief must be reclaimed)", v)
+	}
+	if v := metric(t, a.srv.URL, "sdo_cluster_steal_completions_total"); v != 0 {
+		t.Errorf("steal completions = %v, want 0 (thief never reported back)", v)
+	}
+}

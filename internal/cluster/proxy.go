@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/obs/trace"
+	"repro/internal/simsvc"
+)
+
+// Handler returns the node's HTTP handler: the wrapped service's full
+// API plus cluster routing (proxy + scatter-gather) and the /cluster
+// control endpoints.
+func (n *Node) Handler() http.Handler {
+	base := n.svc.Handler()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cluster", n.handleInfo)
+	mux.HandleFunc("GET /cluster/steal", n.handleSteal)
+	mux.HandleFunc("POST /cluster/complete", n.handleComplete)
+	if n.tr != nil {
+		mux.HandleFunc("GET /cluster/trace", n.handleClusterTrace)
+	}
+	mux.Handle("/", n.route(base))
+	return mux
+}
+
+// route wraps the service handler with cluster routing:
+//
+//   - GET /sweeps fans out to every member and merges (scatter-gather),
+//     unless the request already hopped here from a peer.
+//   - /sweeps/{id}... for a job the local service holds is served
+//     locally — ownership is a partition of the ID space, so holding
+//     the job means being its home.
+//   - /sweeps/{id}... for an unknown job is proxied along the job's
+//     rendezvous ranking. A request carrying the hop header is never
+//     forwarded again (loop prevention): it gets the local 404.
+func (n *Node) route(base http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && r.URL.Path == "/sweeps" &&
+			r.Header.Get(HopHeader) == "" && len(n.cfg.Members) > 1 {
+			n.scatterList(w, r)
+			return
+		}
+		id := sweepID(r.URL.Path)
+		if id == "" {
+			base.ServeHTTP(w, r)
+			return
+		}
+		if _, ok := n.svc.Job(id); ok {
+			base.ServeHTTP(w, r)
+			return
+		}
+		if r.Header.Get(HopHeader) != "" {
+			// Already forwarded once; answer locally (a 404) rather
+			// than risk a proxy cycle under membership disagreement.
+			base.ServeHTTP(w, r)
+			return
+		}
+		n.proxyJob(w, r, id)
+	})
+}
+
+// sweepID extracts {id} from a /sweeps/{id}[/...] path, or "".
+func sweepID(path string) string {
+	rest, ok := strings.CutPrefix(path, "/sweeps/")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// proxyJob forwards a per-job request along the job's rendezvous
+// ranking. The top-ranked member is the owner: if it is unreachable the
+// client gets an honest 503 naming it, not a hang. Lower-ranked members
+// are only consulted after a clean 404 (membership drift: a job
+// admitted under an older member set may live off its current ranking).
+func (n *Node) proxyJob(w http.ResponseWriter, r *http.Request, id string) {
+	order := fabric.Rank(id, n.ids)
+	owner := order[0]
+	var sp *trace.Span
+	if n.jt != nil {
+		ct := n.jt.StartCell(r.Method+" "+r.URL.Path, time.Now())
+		sp = ct.Root().Child(trace.PhaseProxy)
+		sp.Set("job", id)
+		sp.Set("owner", owner)
+		defer func() { sp.Finish(); ct.Finish() }()
+	}
+
+	// Per-job requests carry no meaningful body (submit is POST /sweeps,
+	// always local), but buffer defensively so ranked retries never
+	// replay a half-consumed stream.
+	var body []byte
+	if r.Body != nil {
+		body, _ = io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	}
+
+	for _, mid := range order {
+		if mid == n.self.ID {
+			continue // already missed locally
+		}
+		m := n.byID[mid]
+		resp, err := n.forward(r, m, body)
+		if err != nil {
+			if mid == owner {
+				n.proxyErrors.Inc()
+				if sp != nil {
+					sp.Set("outcome", "owner-unreachable")
+				}
+				w.Header().Set(OwnerHeader, owner+" "+m.URL)
+				writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+					"error":     "cluster owner unreachable",
+					"owner":     owner,
+					"owner_url": m.URL,
+					"detail":    err.Error(),
+				})
+				return
+			}
+			n.logf("cluster: proxy %s %s to %s: %v", r.Method, r.URL.Path, mid, err)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		n.proxied.Inc()
+		if sp != nil {
+			sp.Set("served-by", mid)
+			sp.Set("status", strconv.Itoa(resp.StatusCode))
+		}
+		copyResponse(w, resp, mid)
+		resp.Body.Close()
+		return
+	}
+	if sp != nil {
+		sp.Set("outcome", "unknown-job")
+	}
+	http.Error(w, "unknown job", http.StatusNotFound)
+}
+
+// forward replays r against member m with the hop header set.
+func (n *Node) forward(r *http.Request, m Member, body []byte) (*http.Response, error) {
+	out, err := http.NewRequestWithContext(r.Context(), r.Method,
+		m.URL+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	out.Header = r.Header.Clone()
+	out.Header.Set(HopHeader, n.self.ID)
+	return n.proxyClient.Do(out)
+}
+
+// copyResponse relays a proxied response, flushing after every chunk so
+// streaming endpoints (/progress) stay live through the proxy.
+func copyResponse(w http.ResponseWriter, resp *http.Response, via string) {
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	h.Set(ViaHeader, via)
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		nr, err := resp.Body.Read(buf)
+		if nr > 0 {
+			if _, werr := w.Write(buf[:nr]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// scatterList answers GET /sweeps with the merged listing of every
+// member. Unreachable peers degrade the answer, honestly: the response
+// still succeeds with what was gathered, and the Partial header names
+// the nodes whose jobs may be missing.
+func (n *Node) scatterList(w http.ResponseWriter, r *http.Request) {
+	n.scatters.Inc()
+	merged := make(map[string]simsvc.Status)
+	for _, j := range n.svc.Jobs() {
+		st := j.Status()
+		merged[st.ID] = st
+	}
+
+	others := n.others()
+	lists := make([][]simsvc.Status, len(others))
+	errs := make([]error, len(others))
+	var wg sync.WaitGroup
+	for i, m := range others {
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			lists[i], errs[i] = n.fetchList(r, m)
+		}(i, m)
+	}
+	wg.Wait()
+
+	var down []string
+	for i, m := range others {
+		if errs[i] != nil {
+			n.logf("cluster: list from %s: %v", m.ID, errs[i])
+			down = append(down, m.ID)
+			continue
+		}
+		for _, st := range lists[i] {
+			// Local state wins on ID collisions: this node is the
+			// authority for every job it holds.
+			if _, ok := merged[st.ID]; !ok {
+				merged[st.ID] = st
+			}
+		}
+	}
+
+	out := make([]simsvc.Status, 0, len(merged))
+	for _, st := range merged {
+		out = append(out, st)
+	}
+	sortStatuses(out)
+	if len(down) > 0 {
+		w.Header().Set(PartialHeader, strings.Join(down, ","))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (n *Node) fetchList(r *http.Request, m Member) ([]simsvc.Status, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, m.URL+"/sweeps", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(HopHeader, n.self.ID)
+	resp, err := n.boundedClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, errStatus(resp.StatusCode)
+	}
+	var sts []simsvc.Status
+	if err := json.NewDecoder(resp.Body).Decode(&sts); err != nil {
+		return nil, err
+	}
+	return sts, nil
+}
+
+type errStatus int
+
+func (e errStatus) Error() string { return "http status " + strconv.Itoa(int(e)) }
+
+// handleInfo describes the membership and this node's place in it.
+func (n *Node) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	type memberInfo struct {
+		Member
+		Self bool `json:"self,omitempty"`
+	}
+	out := struct {
+		Self     string       `json:"self"`
+		Members  []memberInfo `json:"members"`
+		Stealing bool         `json:"stealing"`
+	}{Self: n.self.ID, Stealing: n.cfg.StealInterval > 0 && len(n.cfg.Members) > 1}
+	for _, m := range n.cfg.Members {
+		out.Members = append(out.Members, memberInfo{Member: m, Self: m.ID == n.self.ID})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSteal hands out lease-protected queued cells to a polling
+// thief. An empty list is the normal answer on an idle or drained node.
+func (n *Node) handleSteal(w http.ResponseWriter, r *http.Request) {
+	max := n.cfg.StealMax
+	if v, err := strconv.Atoi(r.URL.Query().Get("max")); err == nil && v > 0 {
+		max = v
+	}
+	thief := r.URL.Query().Get("thief")
+	if thief == "" {
+		thief = r.RemoteAddr
+	}
+	cells := n.svc.StealCells(thief, max)
+	if cells == nil {
+		cells = []simsvc.StolenCell{}
+	}
+	writeJSON(w, http.StatusOK, cells)
+}
+
+// handleComplete accepts a thief's finished cell (the content-addressed
+// wire entry) and settles the lease.
+func (n *Node) handleComplete(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := n.svc.CompleteSteal(key, body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleClusterTrace serves the node's cluster-layer span tree (proxy
+// and steal-claim spans). Registered only with tracing on.
+func (n *Node) handleClusterTrace(w http.ResponseWriter, r *http.Request) {
+	doc := n.jt.Doc()
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		doc.WriteChrome(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -306,6 +306,28 @@ func (c *Client) Available() int {
 	return n
 }
 
+// rendezvousScore is the shared HRW hash: fnv64a over "key|member".
+func rendezvousScore(key, member string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	io.WriteString(h, "|")
+	io.WriteString(h, member)
+	return h.Sum64()
+}
+
+// Rank orders members for key by rendezvous (highest-random-weight)
+// hashing. Every node that evaluates the same (key, member set) gets
+// the same order, so a cluster agrees on each key's owner — Rank(...)
+// [0] — with no coordination or shared state. The members slice is not
+// modified.
+func Rank(key string, members []string) []string {
+	out := append([]string(nil), members...)
+	sort.SliceStable(out, func(a, b int) bool {
+		return rendezvousScore(key, out[a]) > rendezvousScore(key, out[b])
+	})
+	return out
+}
+
 // rank orders the peers for key by rendezvous hashing: every node
 // hashes (key, peer) identically, so the cluster agrees on each key's
 // preferred owner with no coordination or shared state.
@@ -316,11 +338,7 @@ func (c *Client) rank(key string) []*peer {
 	}
 	sc := make([]scored, len(c.peers))
 	for i, p := range c.peers {
-		h := fnv.New64a()
-		io.WriteString(h, key)
-		io.WriteString(h, "|")
-		io.WriteString(h, p.url)
-		sc[i] = scored{p: p, s: h.Sum64()}
+		sc[i] = scored{p: p, s: rendezvousScore(key, p.url)}
 	}
 	sort.Slice(sc, func(a, b int) bool { return sc[a].s > sc[b].s })
 	out := make([]*peer, len(sc))
@@ -341,6 +359,18 @@ type lookupRes struct {
 // open, peers down, slow, or corrupt — is reported as a miss (false),
 // never an error: the caller's fallback is local simulation.
 func (c *Client) Lookup(ctx context.Context, key string) ([]byte, string, bool) {
+	if c == nil {
+		return nil, "", false
+	}
+	return c.LookupPath(ctx, key, "/cache/"+key, c.cfg.Validate)
+}
+
+// LookupPath is Lookup generalized to any content-addressed GET
+// endpoint: the peers are still ranked (and their breakers tripped) by
+// key, but the request path and the response validator are the
+// caller's. This is how artifact peering (checkpoints, sample plans)
+// reuses the same hedging + breaker machinery as result lookups.
+func (c *Client) LookupPath(ctx context.Context, key, path string, validate func(key string, body []byte) error) ([]byte, string, bool) {
 	if c == nil {
 		return nil, "", false
 	}
@@ -367,7 +397,7 @@ func (c *Client) Lookup(ctx context.Context, key string) ([]byte, string, bool) 
 
 	ch := make(chan lookupRes, len(cands))
 	launch := func(p *peer) {
-		go func() { ch <- c.fetch(ctx, p, key) }()
+		go func() { ch <- c.fetch(ctx, p, key, path, validate) }()
 	}
 	launch(cands[0])
 	inflight, next := 1, 1
@@ -409,7 +439,7 @@ func (c *Client) Lookup(ctx context.Context, key string) ([]byte, string, bool) 
 
 // fetch asks one peer for one key. Failures trip the peer's breaker; a
 // 404 is an authoritative (healthy) miss.
-func (c *Client) fetch(ctx context.Context, p *peer, key string) lookupRes {
+func (c *Client) fetch(ctx context.Context, p *peer, key, path string, validate func(key string, body []byte) error) lookupRes {
 	fail := func(why string) lookupRes {
 		p.errors.Add(1)
 		c.errors.Add(1)
@@ -431,7 +461,7 @@ func (c *Client) fetch(ctx context.Context, p *peer, key string) lookupRes {
 	}
 	rctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(rctx, http.MethodGet, p.url+"/cache/"+key, nil)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, p.url+path, nil)
 	if err != nil {
 		return fail(err.Error())
 	}
@@ -452,7 +482,7 @@ func (c *Client) fetch(ctx context.Context, p *peer, key string) lookupRes {
 		if c.cfg.Faults.PeerCorrupt(p.url, key) && len(body) > 0 {
 			body[len(body)/2] ^= 0xff
 		}
-		if v := c.cfg.Validate; v != nil {
+		if v := validate; v != nil {
 			if err := v(key, body); err != nil {
 				return fail("corrupt response: " + err.Error())
 			}

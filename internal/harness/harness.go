@@ -112,9 +112,11 @@ func (o Options) Normalized() Options {
 	if o.SimMode == "" {
 		o.SimMode = SimDetailed
 	}
-	if o.SimMode == SimSampled {
-		o.Sample = o.Sample.WithDefaults()
-	}
+	// o.Sample is deliberately NOT default-filled here: zero fields mean
+	// "unset", and the per-workload tuning table (TunedSampleConfig)
+	// resolves them at plan-build time, per workload. Filling global
+	// defaults here would erase the distinction between "caller asked
+	// for 5000" and "caller left it to us".
 	return o
 }
 

@@ -271,7 +271,7 @@ func runSampledSweep(ctx context.Context, opt Options, res *Results, byName map[
 	var pmu sync.Mutex
 	if err := RunPool(ctx, opt.Workers(), len(opt.Workloads), func(ctx context.Context, i int) error {
 		wl := opt.Workloads[i]
-		sp, err := BuildSamplePlan(wl, opt.WarmupInstrs, opt.MaxInstrs, opt.Sample)
+		sp, err := BuildSamplePlan(wl, opt.WarmupInstrs, opt.MaxInstrs, TunedSampleConfig(wl.Name, opt.Sample))
 		if err != nil {
 			return fmt.Errorf("harness: sample plan for %s: %w", wl.Name, err)
 		}

@@ -60,6 +60,18 @@ const (
 	// spent before the demand cell's wall clock and is accounted
 	// separately (Attribution.SpecUS), never summed into the phases.
 	PhaseSpec = "spec-preexec"
+	// PhaseProxy is a cluster request forwarded to the job's owner node
+	// (attrs owner=<node>, status=<code>); lives in the cluster layer's
+	// own trace, not a cell trace.
+	PhaseProxy = "proxy"
+	// PhaseStealClaim covers work stealing: on the owner, the wait for a
+	// leased (stolen) cell's result (attrs thief, outcome); on the thief,
+	// the claim + execution of a stolen cell.
+	PhaseStealClaim = "steal-claim"
+	// PhaseCkptPeer is an artifact-peering lookup: a checkpoint or sample
+	// plan fetched from a cluster peer instead of re-captured (attrs
+	// kind=ckpt|plan, hit=true|false, peer=<url> on a hit).
+	PhaseCkptPeer = "ckpt-peer-lookup"
 )
 
 // Tracer owns the retained job traces (a bounded LRU by submission

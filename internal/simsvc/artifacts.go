@@ -1,0 +1,168 @@
+package simsvc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/harness"
+	"repro/internal/obs/trace"
+	"repro/internal/simpoint"
+)
+
+// Artifact peering (the cluster's third pillar). The expensive per-
+// workload artifacts — functional-warmup checkpoints and SimPoint
+// sampling plans — are content-addressed exactly like results: the
+// on-disk store names each file by artifactName(key), a hash of the
+// same key the in-memory tiers use. With Config.PeerArtifacts on, a
+// node serves its store over GET /artifacts/{ckpt,plan}/{hash} and, on
+// a local memory+disk miss, consults the fabric (same rendezvous
+// ranking, breakers and hedging as result lookups, via LookupPath)
+// before capturing or profiling from scratch. So a stolen or resumed
+// cell never re-warms or re-profiles what any cluster peer already has.
+//
+// The wire format mirrors the result entries' integrity rule: an
+// envelope carrying the hash, a checksum over (hash, gob bytes), and
+// the gob payload. The receiver re-verifies the checksum, then gob-
+// decodes and validates the artifact's build inputs (warmup budget,
+// window, sampling config) exactly as ckptStore.load does for disk
+// files — a corrupt or stale peer artifact degrades to a local
+// capture, never a wrong simulation.
+
+// artifactEntry is the wire form of one peered artifact.
+type artifactEntry struct {
+	// Hash is artifactName(key): the content address both sides use.
+	Hash string `json:"hash"`
+	// Sum is entrySum over (Hash, Data), verified on receipt.
+	Sum string `json:"sum"`
+	// Data is the raw gob encoding, as stored on disk.
+	Data []byte `json:"data"`
+}
+
+// encodeArtifact wraps raw gob bytes for the wire.
+func encodeArtifact(hash string, data []byte) ([]byte, error) {
+	return json.Marshal(artifactEntry{Hash: hash, Sum: entrySum(hash, data), Data: data})
+}
+
+// decodeArtifact parses and checksums a peer artifact body.
+func decodeArtifact(hash string, body []byte) ([]byte, error) {
+	var e artifactEntry
+	if err := json.Unmarshal(body, &e); err != nil {
+		return nil, fmt.Errorf("simsvc: peer artifact: %w", err)
+	}
+	if e.Hash != hash {
+		return nil, fmt.Errorf("simsvc: peer artifact hash mismatch (got %q)", e.Hash)
+	}
+	if entrySum(hash, e.Data) != e.Sum {
+		return nil, fmt.Errorf("simsvc: peer artifact checksum mismatch")
+	}
+	return e.Data, nil
+}
+
+// validateArtifact is the fabric LookupPath validator for hash: a body
+// that fails it counts as a peer failure, not a hit.
+func validateArtifact(hash string, body []byte) error {
+	_, err := decodeArtifact(hash, body)
+	return err
+}
+
+// ArtifactEntry serves one stored artifact ("ckpt" or "plan") in wire
+// form, for the /artifacts endpoints. False: not stored here.
+func (s *Service) ArtifactEntry(kind, hash string) ([]byte, bool) {
+	data, ok := s.ckstore.readArtifact(kind, hash)
+	if !ok {
+		return nil, false
+	}
+	body, err := encodeArtifact(hash, data)
+	if err != nil {
+		return nil, false
+	}
+	return body, true
+}
+
+// peerCheckpoint consults the fabric for the warmup checkpoint keyed by
+// key, under a ckpt-peer-lookup span. Any failure — peering off, no
+// peer holds it, corrupt body, warmup mismatch — is a miss; the caller
+// captures locally.
+func (s *Service) peerCheckpoint(parent *trace.Span, key string, warmup uint64) *arch.Checkpoint {
+	if !s.cfg.PeerArtifacts || s.fab == nil {
+		return nil
+	}
+	hash := artifactName(key)
+	sp := parent.Child(trace.PhaseCkptPeer)
+	sp.Set("kind", "ckpt")
+	start := time.Now()
+	body, peerURL, ok := s.fab.LookupPath(s.ctx, hash, "/artifacts/ckpt/"+hash, validateArtifact)
+	s.peerDur.Observe(time.Since(start).Seconds())
+	var ck *arch.Checkpoint
+	if ok {
+		if data, err := decodeArtifact(hash, body); err == nil {
+			if c, err := arch.Decode(bytes.NewReader(data)); err == nil && c.WarmupInstrs == warmup {
+				ck = c
+			}
+		}
+	}
+	sp.Set("hit", strconv.FormatBool(ck != nil))
+	if ck != nil {
+		sp.Set("peer", peerURL)
+	}
+	sp.Finish()
+	if ck == nil {
+		return nil
+	}
+	s.ckptPeerHits.Add(1)
+	s.event("ckpt-peer-hit", fmt.Sprintf("%s from %s", key, peerURL))
+	// Persist best-effort so the next restart (and our own peers) have it.
+	if s.ckstore.enabled() {
+		if err := s.ckstore.save(key, ck); err == nil {
+			s.ckptsPersisted.Add(1)
+		}
+	}
+	return ck
+}
+
+// peerPlan consults the fabric for the sampling plan keyed by key,
+// under a ckpt-peer-lookup span, validating the plan's build inputs
+// like a disk load. Any failure is a miss; the caller profiles locally.
+func (s *Service) peerPlan(parent *trace.Span, key string, spec RunSpec, cfg simpoint.Config) *harness.SamplePlan {
+	if !s.cfg.PeerArtifacts || s.fab == nil {
+		return nil
+	}
+	hash := artifactName(key)
+	sp := parent.Child(trace.PhaseCkptPeer)
+	sp.Set("kind", "plan")
+	start := time.Now()
+	body, peerURL, ok := s.fab.LookupPath(s.ctx, hash, "/artifacts/plan/"+hash, validateArtifact)
+	s.peerDur.Observe(time.Since(start).Seconds())
+	var plan *harness.SamplePlan
+	if ok {
+		if data, err := decodeArtifact(hash, body); err == nil {
+			var pf planFile
+			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&pf); err == nil &&
+				pf.Plan != nil && pf.Warmup == spec.WarmupInstrs && pf.Window == spec.MaxInstrs &&
+				pf.Cfg == cfg && len(pf.Checkpoints) == len(pf.Plan.Reps) {
+				plan = &harness.SamplePlan{Plan: pf.Plan, Checkpoints: pf.Checkpoints}
+			}
+		}
+	}
+	sp.Set("hit", strconv.FormatBool(plan != nil))
+	if plan != nil {
+		sp.Set("peer", peerURL)
+	}
+	sp.Finish()
+	if plan == nil {
+		return nil
+	}
+	s.planPeerHits.Add(1)
+	s.event("plan-peer-hit", fmt.Sprintf("%s from %s", key, peerURL))
+	if s.ckstore.enabled() {
+		if err := s.ckstore.savePlan(key, spec.WarmupInstrs, spec.MaxInstrs, cfg, plan); err == nil {
+			s.plansPersisted.Add(1)
+		}
+	}
+	return plan
+}

@@ -43,11 +43,46 @@ func newCkptStore(cachePath string, inj *faults.Injector) *ckptStore {
 
 func (st *ckptStore) enabled() bool { return st.dir != "" }
 
-// path maps a checkpoint key to its file. Keys carry workload names and
-// schema strings; hashing keeps the file name short, safe and stable.
-func (st *ckptStore) path(key string) string {
+// artifactName maps an artifact key to its content-addressed file base
+// name. Keys carry workload names and schema strings; hashing keeps the
+// name short, safe and stable — and URL-safe, so the same name addresses
+// the artifact in the cluster's GET /artifacts/{kind}/{hash} endpoints.
+func artifactName(key string) string {
 	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(st.dir, hex.EncodeToString(sum[:16])+".ckpt")
+	return hex.EncodeToString(sum[:16])
+}
+
+// path maps a checkpoint key to its file.
+func (st *ckptStore) path(key string) string {
+	return filepath.Join(st.dir, artifactName(key)+".ckpt")
+}
+
+// readArtifact returns the raw gob bytes of a stored artifact by kind
+// ("ckpt" or "plan") and file base name, for serving to cluster peers.
+// The hash is vetted as lowercase hex so a hostile path segment can
+// never escape the store directory.
+func (st *ckptStore) readArtifact(kind, hash string) ([]byte, bool) {
+	if !st.enabled() || st.inj.LoadErr() != nil {
+		return nil, false
+	}
+	if len(hash) != 32 {
+		return nil, false
+	}
+	if _, err := hex.DecodeString(hash); err != nil {
+		return nil, false
+	}
+	var ext string
+	switch kind {
+	case "ckpt", "plan":
+		ext = "." + kind
+	default:
+		return nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(st.dir, hash+ext))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
 }
 
 // load reads and validates the checkpoint for key. Any failure — missing
@@ -82,8 +117,7 @@ type planFile struct {
 
 // planPath maps a plan key to its file, next to the checkpoints.
 func (st *ckptStore) planPath(key string) string {
-	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(st.dir, hex.EncodeToString(sum[:16])+".plan")
+	return filepath.Join(st.dir, artifactName(key)+".plan")
 }
 
 // loadPlan reads and validates the sampling plan for key. Any failure —

@@ -34,9 +34,11 @@ import (
 
 // Journal record operations.
 const (
-	journalOpSubmit   = "submit"   // job admitted; Req carries the SweepRequest
-	journalOpTerminal = "terminal" // job reached a terminal state
-	journalOpNext     = "next"     // ID allocator floor (written by compaction)
+	journalOpSubmit    = "submit"     // job admitted; Req carries the SweepRequest
+	journalOpTerminal  = "terminal"   // job reached a terminal state
+	journalOpNext      = "next"       // ID allocator floor (written by compaction)
+	journalOpLease     = "lease"      // cell leased to a work-stealing peer
+	journalOpLeaseDone = "lease-done" // leased cell's result delivered back
 )
 
 // journalVersion stamps each record; readers ignore records from a newer
@@ -55,6 +57,9 @@ type journalRecord struct {
 	State string          `json:"state,omitempty"`  // terminal records
 	Req   json.RawMessage `json:"req,omitempty"`    // submit records
 	NextN int             `json:"next_n,omitempty"` // next records
+	Key   string          `json:"key,omitempty"`    // lease records: cell cache key
+	Thief string          `json:"thief,omitempty"`  // lease records: claiming node
+	Until time.Time       `json:"until,omitempty"`  // lease records: expiry
 	Time  time.Time       `json:"time,omitempty"`
 }
 
@@ -163,6 +168,11 @@ func (j *jobJournal) replayFile() ([]journalJob, int) {
 			if rec.NextN > maxN {
 				maxN = rec.NextN
 			}
+		case journalOpLease, journalOpLeaseDone:
+			// Steal-lease audit records: leases do not survive an owner
+			// restart — the resumed job's cache-backed replay re-runs any
+			// cell whose result never came back, and the content-addressed
+			// cache keeps a late thief completion exactly-once.
 		default:
 			// Future record type: ignore, never fail.
 		}
@@ -260,6 +270,17 @@ func (j *jobJournal) submit(id string, req json.RawMessage) bool {
 // terminal journals a job's terminal transition.
 func (j *jobJournal) terminal(id string, state JobState) bool {
 	return j.append(journalRecord{Op: journalOpTerminal, ID: id, State: string(state)})
+}
+
+// lease journals a cell's claim by a work-stealing peer (write-ahead:
+// call before the claim is handed out).
+func (j *jobJournal) lease(key, thief string, until time.Time) bool {
+	return j.append(journalRecord{Op: journalOpLease, Key: key, Thief: thief, Until: until})
+}
+
+// leaseDone journals a leased cell's result landing back in the cache.
+func (j *jobJournal) leaseDone(key string) bool {
+	return j.append(journalRecord{Op: journalOpLeaseDone, Key: key})
 }
 
 // isDegraded reports whether the journal fell back to memory-only mode.

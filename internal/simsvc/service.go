@@ -115,6 +115,27 @@ type Config struct {
 	// default).
 	PeerMaxFanout int
 
+	// OwnsID, when non-nil, restricts job-ID allocation to IDs it
+	// accepts: the allocator skips numbers whose "sweep-N" this node does
+	// not own. The cluster layer sets it to the rendezvous-ownership
+	// predicate so distinct nodes allocate disjoint ID subsequences and
+	// any node can resolve any ID's owner without coordination. Nil (the
+	// default): every ID is owned — byte-identical single-node behavior.
+	OwnsID func(id string) bool
+	// PeerArtifacts extends cache peering to the checkpoint and sample-
+	// plan artifacts: the service serves its <cache>.ckpts/ store over
+	// GET /artifacts/{ckpt,plan}/{hash} and consults peers (checksum-
+	// validated, same fabric machinery) before capturing or profiling
+	// locally. Off by default; requires Peers.
+	PeerArtifacts bool
+	// WorkStealing keeps a registry of queued-but-unstarted cells that
+	// cluster peers may claim under a journaled lease via
+	// Service.StealCells (see steal.go). Off by default.
+	WorkStealing bool
+	// StealLeaseTTL bounds how long the owner waits on a stolen cell
+	// before reclaiming it locally (0: DefaultStealLeaseTTL).
+	StealLeaseTTL time.Duration
+
 	// AutoTimeout derives each cell attempt's wall-clock deadline from
 	// the observed run-duration histogram (p99 × autoTimeoutFactor,
 	// clamped to [1s, CellTimeout-or-10m]) once enough runs have been
@@ -171,6 +192,9 @@ func (c Config) withDefaults() Config {
 	if c.Speculate && c.SpecJournal == "" && c.CachePath != "" {
 		c.SpecJournal = c.CachePath + ".history"
 	}
+	if c.StealLeaseTTL <= 0 {
+		c.StealLeaseTTL = DefaultStealLeaseTTL
+	}
 	return c
 }
 
@@ -214,6 +238,7 @@ type Service struct {
 	flight  *obs.SafeRingSink // /debug/flight ring (always on)
 	journal *jobJournal       // nil unless cfg.JournalPath
 	fab     *fabric.Client    // nil unless cfg.Peers
+	steal   *stealState       // nil unless cfg.WorkStealing
 
 	mu       sync.Mutex
 	closed   bool
@@ -282,6 +307,12 @@ type Service struct {
 	warmupSimulated atomic.Uint64 // warmup instructions actually simulated
 	ckptsPersisted  atomic.Uint64 // checkpoints written to the disk store
 	ckptDiskHits    atomic.Uint64 // checkpoint-tier misses answered from disk
+
+	ckptPeerHits   atomic.Uint64 // checkpoint-tier misses answered by a cluster peer
+	planPeerHits   atomic.Uint64 // plan-tier misses answered by a cluster peer
+	cellsStolen    atomic.Uint64 // queued cells leased out to work-stealing peers
+	stealCompleted atomic.Uint64 // stolen-cell results delivered back (either side)
+	leaseExpiries  atomic.Uint64 // steal leases that expired unfulfilled (cell reclaimed)
 
 	plansBuilt     atomic.Uint64 // sample plans built (profile + cluster + checkpoints)
 	planHits       atomic.Uint64 // sampled cells that reused an existing plan
@@ -390,6 +421,9 @@ func New(cfg Config) (*Service, error) {
 	s.pool = harness.NewPool(ctx, cfg.Workers)
 	if cfg.Speculate {
 		s.spec = newSpeculation(s)
+	}
+	if cfg.WorkStealing {
+		s.steal = newStealState()
 	}
 	if len(cfg.Peers) > 0 {
 		s.fab = fabric.New(fabric.Config{
@@ -601,6 +635,20 @@ func (s *Service) registerMetrics() {
 			func() float64 { return float64(s.fab.Available()) })
 		s.peerDur = r.NewHistogram("sdo_peer_lookup_seconds",
 			"Wall time of peer cache lookups (hit or miss).", obs.DefaultLatencyBuckets())
+	}
+	if s.cfg.PeerArtifacts {
+		ctr("sdo_cluster_ckpt_peer_hits_total", "Checkpoint-tier misses answered by a cluster peer (warmup skipped).",
+			func() float64 { return float64(s.ckptPeerHits.Load()) })
+		ctr("sdo_cluster_plan_peer_hits_total", "Sample-plan-tier misses answered by a cluster peer (BBV profiling skipped).",
+			func() float64 { return float64(s.planPeerHits.Load()) })
+	}
+	if s.steal != nil {
+		ctr("sdo_cluster_cells_stolen_total", "Queued cells leased out to work-stealing cluster peers.",
+			func() float64 { return float64(s.cellsStolen.Load()) })
+		ctr("sdo_cluster_steal_completions_total", "Stolen-cell results accepted back into the cache.",
+			func() float64 { return float64(s.stealCompleted.Load()) })
+		ctr("sdo_cluster_lease_expiries_total", "Steal leases that expired unfulfilled (cell reclaimed locally).",
+			func() float64 { return float64(s.leaseExpiries.Load()) })
 	}
 	obs.RegisterProcessMetrics(r)
 	s.reg = r
@@ -830,11 +878,14 @@ func (s *Service) resolve(req SweepRequest) (harness.Options, []RunSpec, error) 
 			SimMode:        opt.SimMode,
 		}
 		if opt.SimMode == harness.SimSampled {
-			// Normalized() filled the sampling defaults; stamping them into
-			// the spec makes the cache key explicit about what actually ran.
-			c.SampleInterval = opt.Sample.IntervalInstrs
-			c.SampleMaxK = opt.Sample.MaxK
-			c.SampleSeed = opt.Sample.Seed
+			// Unset sampling fields resolve through the per-workload tuning
+			// table (request parameters always win); stamping the resolved
+			// values into the spec makes the cache key explicit about what
+			// actually ran.
+			cfg := harness.TunedSampleConfig(k.Workload, opt.Sample)
+			c.SampleInterval = cfg.IntervalInstrs
+			c.SampleMaxK = cfg.MaxK
+			c.SampleSeed = cfg.Seed
 		}
 		cells = append(cells, c)
 	}
@@ -956,8 +1007,17 @@ func (s *Service) submit(req SweepRequest, so submitOpts) (*Job, error) {
 		}
 		j.ID = so.id
 	} else {
-		s.nextID++
-		j.ID = fmt.Sprintf("sweep-%d", s.nextID)
+		// In a cluster, OwnsID partitions the "sweep-N" sequence: each
+		// node skips the numbers it does not own under the rendezvous
+		// hash, so nodes allocate disjoint IDs and any node can resolve
+		// any ID's owner with the same hash (see internal/cluster).
+		for {
+			s.nextID++
+			j.ID = fmt.Sprintf("sweep-%d", s.nextID)
+			if s.cfg.OwnsID == nil || s.cfg.OwnsID(j.ID) {
+				break
+			}
+		}
 	}
 	j.jt = s.tracer.StartJob(j.ID)
 	s.jobs[j.ID] = j
@@ -1006,6 +1066,11 @@ func (s *Service) submit(req SweepRequest, so submitOpts) (*Job, error) {
 	enqueued := time.Now()
 	for i, c := range cells {
 		i, c := i, c
+		if s.steal != nil {
+			if k, err := c.CacheKey(); err == nil {
+				s.steal.enqueue(k, c)
+			}
+		}
 		s.pool.Submit(func(ctx context.Context) { s.runCell(ctx, j, i, c, enqueued) })
 	}
 	return j, nil
@@ -1079,14 +1144,14 @@ func (s *Service) evictJobsLocked() {
 // best-effort for the next restart. A panicking capture is isolated: this
 // cell (and any that were blocked on the flight) gets nil and falls back
 // to in-place warmup; the flight is dropped so a later cell can retry.
-func (s *Service) checkpoint(key string, wl workload.Workload, warmup uint64) *arch.Checkpoint {
+func (s *Service) checkpoint(parent *trace.Span, key string, wl workload.Workload, warmup uint64) *arch.Checkpoint {
 	s.ckMu.Lock()
 	f, ok := s.ckpts[key]
 	if !ok {
 		f = &ckFlight{done: make(chan struct{})}
 		s.ckpts[key] = f
 		s.ckMu.Unlock()
-		fromDisk := false
+		fromDisk, fromPeer := false, false
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -1096,6 +1161,10 @@ func (s *Service) checkpoint(key string, wl workload.Workload, warmup uint64) *a
 			}()
 			if ck := s.ckstore.load(key, warmup); ck != nil {
 				f.ck, fromDisk = ck, true
+				return
+			}
+			if ck := s.peerCheckpoint(parent, key, warmup); ck != nil {
+				f.ck, fromPeer = ck, true
 				return
 			}
 			f.ck = harness.CaptureCheckpoint(wl, warmup)
@@ -1108,6 +1177,10 @@ func (s *Service) checkpoint(key string, wl workload.Workload, warmup uint64) *a
 		}
 		if fromDisk {
 			s.ckptDiskHits.Add(1)
+			return f.ck
+		}
+		if fromPeer {
+			// peerCheckpoint already counted the hit and persisted it.
 			return f.ck
 		}
 		s.ckptsCaptured.Add(1)
@@ -1137,7 +1210,7 @@ func (s *Service) checkpoint(key string, wl workload.Workload, warmup uint64) *a
 // next to the checkpoints for the next restart. A failed or panicking
 // build fails this cell and any blocked on the flight; the flight is
 // dropped so a later cell can retry.
-func (s *Service) samplePlan(key string, wl workload.Workload, spec RunSpec) (*harness.SamplePlan, error) {
+func (s *Service) samplePlan(parent *trace.Span, key string, wl workload.Workload, spec RunSpec) (*harness.SamplePlan, error) {
 	s.planMu.Lock()
 	f, ok := s.plans[key]
 	if !ok {
@@ -1146,7 +1219,7 @@ func (s *Service) samplePlan(key string, wl workload.Workload, spec RunSpec) (*h
 		s.planMu.Unlock()
 		start := time.Now()
 		cfg := simpoint.Config{IntervalInstrs: spec.SampleInterval, MaxK: spec.SampleMaxK, Seed: spec.SampleSeed}
-		fromDisk := false
+		fromDisk, fromPeer := false, false
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -1159,6 +1232,10 @@ func (s *Service) samplePlan(key string, wl workload.Workload, spec RunSpec) (*h
 				f.sp, fromDisk = sp, true
 				return
 			}
+			if sp := s.peerPlan(parent, key, spec, cfg); sp != nil {
+				f.sp, fromPeer = sp, true
+				return
+			}
 			f.sp, f.err = harness.BuildSamplePlan(wl, spec.WarmupInstrs, spec.MaxInstrs, cfg)
 		}()
 		if f.err != nil {
@@ -1169,6 +1246,10 @@ func (s *Service) samplePlan(key string, wl workload.Workload, spec RunSpec) (*h
 		}
 		if fromDisk {
 			s.planDiskHits.Add(1)
+			return f.sp, nil
+		}
+		if fromPeer {
+			// peerPlan already counted the hit and persisted it.
 			return f.sp, nil
 		}
 		s.planDur.Observe(time.Since(start).Seconds())
@@ -1268,6 +1349,13 @@ func (s *Service) cellEvent(ev harness.CellEvent) {
 // instead of killing them.
 func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, enqueued time.Time) {
 	s.queueLat.Observe(time.Since(enqueued).Seconds())
+	if s.steal != nil {
+		// A worker picked the cell up: it is no longer stealable (on every
+		// exit path, including skip below).
+		if k, err := spec.CacheKey(); err == nil {
+			s.steal.dequeue(k)
+		}
+	}
 	if ctx.Err() != nil || j.ctx.Err() != nil {
 		s.runsSkipped.Add(1)
 		j.skip()
@@ -1335,6 +1423,29 @@ func (s *Service) runCell(ctx context.Context, j *Job, idx int, spec RunSpec, en
 	f := &flight{waiters: []delivery{{job: j, idx: idx, key: k, ct: ct}}}
 	s.inflight[key] = f
 	s.mu.Unlock()
+
+	// Work stealing: if a peer claimed this cell under a still-live
+	// lease, wait (bounded by the lease expiry) for its result to land
+	// in the cache instead of duplicating the run. An expired lease
+	// reclaims the cell — execution continues below exactly as if it
+	// was never stolen.
+	if s.steal != nil {
+		if r, thief, ok := s.stealWait(ct.Root(), key); ok {
+			s.mu.Lock()
+			delete(s.inflight, key)
+			waiters := f.waiters
+			s.mu.Unlock()
+			for _, w := range waiters {
+				w.await.Finish()
+				w.job.deliver(w.idx, w.key, r, line(r, "  [stolen]"), true, 0, finishCell(w.ct, "stolen"))
+			}
+			if s.rec.On(obs.ClassTrace) {
+				s.rec.Emit(obs.Event{Class: obs.ClassTrace, Kind: "steal-hit",
+					Detail: fmt.Sprintf("%s from thief %s", cellName(k), thief)})
+			}
+			return
+		}
+	}
 
 	// Cache peering: before simulating, ask the fabric whether a peer
 	// already holds this content-addressed key. Any peer failure (down,
@@ -1503,7 +1614,7 @@ func (s *Service) execute(ctx context.Context, spec RunSpec, pol harness.RunPoli
 		ps := parent.Child(trace.PhasePlan)
 		var planKey string
 		if planKey, err = spec.PlanKey(); err == nil {
-			sp, err = s.samplePlan(planKey, wl, spec)
+			sp, err = s.samplePlan(ps, planKey, wl, spec)
 		}
 		ps.Finish()
 		if err != nil {
@@ -1515,7 +1626,7 @@ func (s *Service) execute(ctx context.Context, spec RunSpec, pol harness.RunPoli
 			return core.Result{}, 0, 0, err
 		}
 		cks := parent.Child(trace.PhaseCheckpoint)
-		if p.Checkpoint = s.checkpoint(ckKey, wl, spec.WarmupInstrs); p.Checkpoint == nil {
+		if p.Checkpoint = s.checkpoint(cks, ckKey, wl, spec.WarmupInstrs); p.Checkpoint == nil {
 			// Capture failed: degrade to in-place functional warmup for
 			// this cell (bit-identical, just slower).
 			s.warmupSimulated.Add(spec.WarmupInstrs)

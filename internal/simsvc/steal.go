@@ -1,0 +1,315 @@
+package simsvc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+)
+
+// Work stealing (the cluster's second pillar). When Config.WorkStealing
+// is on, the service keeps a registry of cells that are enqueued but not
+// yet picked up by a worker. An idle cluster peer (the thief) claims up
+// to k of them via Service.StealCells, which hands each out under a
+// lease: thief identity plus an expiry, written ahead to the job journal.
+// The thief executes the cell through its own service (so it benefits
+// from its own cache, checkpoint and plan tiers) and posts the
+// content-addressed wire entry back via Service.CompleteSteal.
+//
+// Safety comes from the cache's content addressing, not from the lease:
+// a lease only bounds how long the owner's worker waits before running
+// the cell itself. If the thief is SIGKILL'd mid-claim the lease expires,
+// the owner reclaims the cell by simulating locally, and a late
+// completion from a resurrected thief is just a harmless duplicate Put
+// of a byte-identical entry. Results are exactly-once by key, never by
+// coordination.
+
+// DefaultStealLeaseTTL bounds how long the owner waits on a stolen
+// cell's result before reclaiming it.
+const DefaultStealLeaseTTL = 30 * time.Second
+
+// StolenCell is one leased unit of work handed to a thief.
+type StolenCell struct {
+	// Key is the cell's content-addressed cache key; CompleteSteal
+	// expects the result posted back under it.
+	Key string `json:"key"`
+	// Spec is the full run specification; the thief re-derives Key from
+	// it and refuses the claim on mismatch (schema-version skew guard).
+	Spec RunSpec `json:"spec"`
+	// Until is the lease expiry; past it the owner reclaims the cell.
+	Until time.Time `json:"until"`
+}
+
+// pendingCell is a queued-but-not-started cell, stealable by peers.
+// refs counts how many queued runCell invocations share the key.
+type pendingCell struct {
+	spec RunSpec
+	refs int
+}
+
+// cellLease is one outstanding steal claim.
+type cellLease struct {
+	thief string
+	until time.Time
+	done  chan struct{} // closed by CompleteSteal
+}
+
+// stealState tracks pending (stealable) cells and outstanding leases.
+// A nil *stealState is the stealing-off state: every method no-ops.
+type stealState struct {
+	mu      sync.Mutex
+	pending map[string]*pendingCell
+	order   []string // FIFO claim order (keys; may hold stale entries)
+	leases  map[string]*cellLease
+}
+
+func newStealState() *stealState {
+	return &stealState{
+		pending: make(map[string]*pendingCell),
+		leases:  make(map[string]*cellLease),
+	}
+}
+
+// enqueue registers a queued cell as stealable.
+func (st *stealState) enqueue(key string, spec RunSpec) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if p, ok := st.pending[key]; ok {
+		p.refs++
+	} else {
+		st.pending[key] = &pendingCell{spec: spec, refs: 1}
+		st.order = append(st.order, key)
+	}
+	st.mu.Unlock()
+}
+
+// dequeue unregisters one queued instance of key (a worker picked it
+// up); the key stops being stealable once the last instance is gone.
+func (st *stealState) dequeue(key string) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if p, ok := st.pending[key]; ok {
+		if p.refs--; p.refs <= 0 {
+			delete(st.pending, key)
+		}
+	}
+	st.mu.Unlock()
+}
+
+// lease returns the outstanding lease for key, if any.
+func (st *stealState) lease(key string) (*cellLease, bool) {
+	if st == nil {
+		return nil, false
+	}
+	st.mu.Lock()
+	l, ok := st.leases[key]
+	st.mu.Unlock()
+	return l, ok
+}
+
+// drop removes l from the lease table iff it is still the current lease
+// for key, reporting whether it did (the caller then owns accounting).
+func (st *stealState) drop(key string, l *cellLease) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cur, ok := st.leases[key]; ok && cur == l {
+		delete(st.leases, key)
+		return true
+	}
+	return false
+}
+
+// StealCells claims up to max pending cells for thief under fresh
+// leases. Cells already cached, in flight locally, or under an
+// unexpired lease are not handed out. Returns nil when stealing is off
+// or nothing is claimable.
+func (s *Service) StealCells(thief string, max int) []StolenCell {
+	st := s.steal
+	if st == nil || max <= 0 || thief == "" {
+		return nil
+	}
+	// Snapshot claimable candidates in FIFO order, then filter against
+	// the cache and the inflight table outside st.mu (lock order: never
+	// hold st.mu and s.mu together).
+	now := time.Now()
+	var expired []string
+	var cands []StolenCell
+	st.mu.Lock()
+	live := st.order[:0]
+	for _, key := range st.order {
+		p, ok := st.pending[key]
+		if !ok {
+			continue // dequeued; drop from the order lazily
+		}
+		live = append(live, key)
+		if l, leased := st.leases[key]; leased {
+			if now.Before(l.until) {
+				continue
+			}
+			// Expired and never completed: reclaim by re-stealing.
+			delete(st.leases, key)
+			expired = append(expired, key)
+		}
+		if len(cands) < max {
+			cands = append(cands, StolenCell{Key: key, Spec: p.spec})
+		}
+	}
+	st.order = live
+	st.mu.Unlock()
+	for _, key := range expired {
+		s.leaseExpiries.Add(1)
+		s.event("steal-lease-expired", key)
+	}
+
+	until := now.Add(s.cfg.StealLeaseTTL)
+	var out []StolenCell
+	for _, c := range cands {
+		if s.cache.Contains(c.Key) {
+			continue
+		}
+		s.mu.Lock()
+		_, running := s.inflight[c.Key]
+		s.mu.Unlock()
+		if running {
+			continue
+		}
+		st.mu.Lock()
+		_, leased := st.leases[c.Key]
+		_, stillPending := st.pending[c.Key]
+		if !leased && stillPending {
+			st.leases[c.Key] = &cellLease{thief: thief, until: until, done: make(chan struct{})}
+		}
+		st.mu.Unlock()
+		if leased || !stillPending {
+			continue
+		}
+		// Write-ahead: the lease is durable before the claim leaves the
+		// node, so the journal always explains why a cell sat waiting.
+		s.journal.lease(c.Key, thief, until)
+		c.Until = until
+		out = append(out, c)
+		s.cellsStolen.Add(1)
+	}
+	if len(out) > 0 && s.rec.On(obs.ClassTrace) {
+		s.rec.Emit(obs.Event{Class: obs.ClassTrace, Kind: "cells-stolen",
+			Detail: fmt.Sprintf("%d cell(s) leased to %s until %s", len(out), thief, until.Format(time.RFC3339))})
+	}
+	return out
+}
+
+// CompleteSteal accepts a stolen cell's result: the body must be the
+// content-addressed wire entry for key (same format and checksum as
+// GET /cache/{key}), and is rejected — never cached — on any mismatch.
+// Completing an expired or unknown lease is fine: the entry is still
+// byte-identical by construction, so the Put is idempotent.
+func (s *Service) CompleteSteal(key string, body []byte) error {
+	if s.steal == nil {
+		return fmt.Errorf("simsvc: work stealing disabled")
+	}
+	r, err := decodePeerEntry(key, body)
+	if err != nil {
+		return err
+	}
+	s.cache.Put(key, r)
+	s.schedulePersist()
+	s.stealCompleted.Add(1)
+	st := s.steal
+	st.mu.Lock()
+	l, ok := st.leases[key]
+	if ok {
+		delete(st.leases, key)
+	}
+	st.mu.Unlock()
+	if ok {
+		close(l.done)
+		s.journal.leaseDone(key)
+		if s.rec.On(obs.ClassTrace) {
+			s.rec.Emit(obs.Event{Class: obs.ClassTrace, Kind: "steal-complete",
+				Detail: fmt.Sprintf("%s from %s", key, l.thief)})
+		}
+	}
+	return nil
+}
+
+// stealWait blocks a worker that dequeued a leased (stolen) cell until
+// the thief delivers or the lease expires, under a steal-claim span.
+// Returns the result on delivery; an expiry reclaims the cell (the
+// caller simulates locally, exactly as if it was never stolen).
+func (s *Service) stealWait(root *trace.Span, key string) (core.Result, string, bool) {
+	l, ok := s.steal.lease(key)
+	if !ok {
+		return core.Result{}, "", false
+	}
+	sp := root.Child(trace.PhaseStealClaim)
+	sp.Set("thief", l.thief)
+	wait := time.Until(l.until)
+	if wait < 0 {
+		wait = 0
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-l.done:
+	case <-t.C:
+	case <-s.ctx.Done():
+	}
+	if r, hit := s.cache.Get(key); hit {
+		sp.Set("outcome", "completed")
+		sp.Finish()
+		return r, l.thief, true
+	}
+	sp.Set("outcome", "expired")
+	sp.Finish()
+	if s.steal.drop(key, l) {
+		s.leaseExpiries.Add(1)
+		s.event("steal-lease-expired", fmt.Sprintf("%s (thief %s); reclaimed locally", key, l.thief))
+	}
+	return core.Result{}, "", false
+}
+
+// RunStolen executes a stolen cell's spec on this (thief) node — local
+// cache first, then the full execute path with its checkpoint/plan tiers
+// and artifact peering — and returns the content-addressed wire entry to
+// post back to the owner.
+func (s *Service) RunStolen(ctx context.Context, spec RunSpec) ([]byte, error) {
+	key, err := spec.CacheKey()
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := s.cache.PeekEncoded(key); ok {
+		return json.Marshal(e)
+	}
+	pol := harness.RunPolicy{
+		MaxAttempts:  s.cfg.MaxAttempts,
+		RetryBackoff: s.cfg.RetryBackoff,
+		CellTimeout:  s.cellTimeout(),
+		StallTimeout: s.cfg.StallTimeout,
+		Notify:       s.cellEvent,
+	}
+	r, _, elapsed, err := s.execute(ctx, spec, pol)
+	if elapsed > 0 {
+		s.runNanos.Add(uint64(elapsed))
+		s.runDur.Observe(elapsed.Seconds())
+		s.runsExecuted.Add(1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Put(key, r)
+	s.schedulePersist()
+	e, ok := s.cache.PeekEncoded(key)
+	if !ok {
+		return nil, fmt.Errorf("simsvc: stolen cell %s: result not cacheable", key)
+	}
+	return json.Marshal(e)
+}
